@@ -1,0 +1,62 @@
+// Command iiotbench runs the experiment suite (DESIGN.md §3) and prints
+// each experiment's table — the reproduction's equivalent of regenerating
+// the paper's figures. With -markdown it emits the EXPERIMENTS.md body.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iiotds/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E5,E9); empty = all")
+	markdown := flag.Bool("markdown", false, "emit markdown (EXPERIMENTS.md body) instead of tables")
+	flag.Parse()
+
+	scale := exp.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "iiotbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, r := range exp.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		ran++
+		t0 := time.Now()
+		table := r.Run(scale)
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Println(table.String())
+			fmt.Printf("(wall time %.1fs)\n\n", time.Since(t0).Seconds())
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "iiotbench: no experiments matched %q\n", *only)
+		os.Exit(2)
+	}
+	if !*markdown {
+		fmt.Printf("ran %d experiments at scale=%s in %.1fs\n", ran, *scaleFlag, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,164 @@
+// Command iiotgw demonstrates that the middleware runs over real
+// networks, not only the emulation: it serves the gateway's CoAP
+// resources on a real UDP socket (device registry, canonical
+// observations via protocol adapters) and, with -probe, acts as a CoAP
+// client against another gateway instance.
+//
+//	iiotgw -listen 127.0.0.1:5683             # serve
+//	iiotgw -probe 127.0.0.1:5683              # discover + read resources
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"iiotds/internal/adapter"
+	"iiotds/internal/coap"
+	"iiotds/internal/registry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5683", "UDP address to serve CoAP on")
+	probe := flag.String("probe", "", "act as client: discover and read a gateway at this address")
+	flag.Parse()
+
+	if *probe != "" {
+		runProbe(*probe)
+		return
+	}
+	runGateway(*listen)
+}
+
+// runGateway serves the middleware over a real socket: an emulated legacy
+// Modbus device is exposed through its adapter as canonical resources.
+func runGateway(listen string) {
+	tr, err := coap.NewUDPTransport(listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iiotgw: %v\n", err)
+		os.Exit(1)
+	}
+	conn := coap.NewConn(tr, &coap.SystemScheduler{}, coap.ConnConfig{})
+	defer conn.Close()
+
+	// One legacy device behind its adapter.
+	mb := adapter.NewModbusAdapter()
+	mbMap := adapter.ModbusMap{
+		"temp":     {Register: 100, Scale: 100, Unit: "C"},
+		"setpoint": {Register: 101, Scale: 100, Unit: "C", Writable: true},
+	}
+	mb.RegisterModel("plc-7", mbMap)
+	dev := &registry.Device{
+		ID: "press-1", Vendor: "Siematic", Model: "plc-7",
+		Protocol: adapter.ProtocolModbus,
+		Caps: []registry.Capability{
+			{Name: "temp", Kind: registry.KindSensor, Unit: "C"},
+			{Name: "setpoint", Kind: registry.KindActuator, Unit: "C"},
+		},
+	}
+	emu := adapter.NewModbusEmulator(dev, mbMap)
+	emu.SetState("temp", 36.5)
+	emu.SetState("setpoint", 40)
+	reg := registry.New()
+	if err := reg.Register(dev); err != nil {
+		fmt.Fprintf(os.Stderr, "iiotgw: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := coap.NewServer()
+	srv.Resource("registry/devices").ResourceType("iiot.registry").Get(
+		func(string, *coap.Message) *coap.Message {
+			var sb strings.Builder
+			for _, d := range reg.All() {
+				fmt.Fprintf(&sb, "%s vendor=%s model=%s proto=%s\n", d.ID, d.Vendor, d.Model, d.Protocol)
+			}
+			return coap.TextResponse(sb.String())
+		})
+	srv.Resource("devices/press-1/temp").ResourceType("iiot.sensor").Observable().Get(
+		func(string, *coap.Message) *coap.Message {
+			obs, err := mb.Decode(dev, emu.Frame(), time.Duration(time.Now().UnixNano()))
+			if err != nil {
+				return coap.ErrorResponse(coap.CodeInternalServerError, err.Error())
+			}
+			for _, o := range obs {
+				if o.Cap == "temp" {
+					return coap.TextResponse(fmt.Sprintf("%.2f", o.Value))
+				}
+			}
+			return coap.ErrorResponse(coap.CodeNotFound, "no temp observation")
+		})
+	srv.Resource("devices/press-1/setpoint").ResourceType("iiot.actuator").Put(
+		func(_ string, req *coap.Message) *coap.Message {
+			var v float64
+			if _, err := fmt.Sscanf(string(req.Payload), "%f", &v); err != nil {
+				return coap.ErrorResponse(coap.CodeBadRequest, "want a number")
+			}
+			raw, err := mb.EncodeCommand(dev, registry.Command{Device: dev.ID, Cap: "setpoint", Value: v})
+			if err != nil {
+				return coap.ErrorResponse(coap.CodeBadRequest, err.Error())
+			}
+			if err := emu.Apply(raw); err != nil {
+				return coap.ErrorResponse(coap.CodeInternalServerError, err.Error())
+			}
+			return &coap.Message{Code: coap.CodeChanged}
+		})
+	conn.Serve(srv)
+
+	fmt.Printf("iiotgw: CoAP gateway on %s (resources: /.well-known/core)\n", tr.LocalAddr())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	fmt.Println("iiotgw: shutting down")
+}
+
+// runProbe exercises a remote gateway like any standards-based CoAP
+// client would.
+func runProbe(addr string) {
+	tr, err := coap.NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iiotgw: %v\n", err)
+		os.Exit(1)
+	}
+	conn := coap.NewConn(tr, &coap.SystemScheduler{}, coap.ConnConfig{})
+	defer conn.Close()
+
+	get := func(path string) string {
+		done := make(chan string, 1)
+		conn.Get(addr, path, func(m *coap.Message, err error) {
+			if err != nil {
+				done <- "error: " + err.Error()
+				return
+			}
+			done <- fmt.Sprintf("[%s] %s", m.Code, m.Payload)
+		})
+		select {
+		case s := <-done:
+			return s
+		case <-time.After(10 * time.Second):
+			return "timeout"
+		}
+	}
+
+	fmt.Println("discovery:", get(".well-known/core"))
+	fmt.Println("registry: ", get("registry/devices"))
+	fmt.Println("temp:     ", get("devices/press-1/temp"))
+
+	done := make(chan string, 1)
+	conn.Put(addr, "devices/press-1/setpoint", coap.FormatText, []byte("42.5"),
+		func(m *coap.Message, err error) {
+			if err != nil {
+				done <- "error: " + err.Error()
+				return
+			}
+			done <- m.Code.String()
+		})
+	select {
+	case s := <-done:
+		fmt.Println("setpoint PUT:", s)
+	case <-time.After(10 * time.Second):
+		fmt.Println("setpoint PUT: timeout")
+	}
+}

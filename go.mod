@@ -1,0 +1,3 @@
+module iiotds
+
+go 1.22

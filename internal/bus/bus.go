@@ -1,0 +1,246 @@
+// Package bus is the topic-based publish/subscribe fabric of the
+// application-logic tier: the middleware through which sensing-layer
+// observations reach rules, storage, and operator dashboards (§III-B).
+// Topics are "/"-separated; subscriptions support MQTT-style "+" (one
+// level) and "#" (rest) wildcards, retained messages, and per-subscriber
+// queues so one slow consumer cannot block the rest.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Message is one published event.
+type Message struct {
+	Topic    string
+	Payload  []byte
+	Retained bool
+}
+
+// Handler consumes messages for one subscription.
+type Handler func(m Message)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("bus: broker closed")
+
+// subscription is one registered handler.
+type subscription struct {
+	id      uint64
+	pattern []string
+	handler Handler
+	queue   chan Message
+	done    chan struct{}
+}
+
+// Broker routes messages from publishers to subscribers.
+type Broker struct {
+	mu       sync.Mutex
+	subs     map[uint64]*subscription
+	retained map[string]Message
+	nextID   uint64
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Published and Delivered count routing activity.
+	Published uint64
+	Delivered uint64
+}
+
+// NewBroker returns a running broker.
+func NewBroker() *Broker {
+	return &Broker{
+		subs:     make(map[uint64]*subscription),
+		retained: make(map[string]Message),
+	}
+}
+
+// Subscription identifies an active subscription for cancellation.
+type Subscription struct {
+	id     uint64
+	broker *Broker
+}
+
+// Cancel removes the subscription. Idempotent.
+func (s *Subscription) Cancel() {
+	s.broker.mu.Lock()
+	sub, ok := s.broker.subs[s.id]
+	if ok {
+		delete(s.broker.subs, s.id)
+		close(sub.done)
+	}
+	s.broker.mu.Unlock()
+}
+
+// Subscribe registers handler for all topics matching pattern. Matching
+// retained messages are delivered immediately. The handler runs on a
+// dedicated goroutine with a bounded queue; overflow drops the oldest
+// message (telemetry semantics: newest wins).
+func (b *Broker) Subscribe(pattern string, handler Handler) (*Subscription, error) {
+	if err := validatePattern(pattern); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.nextID++
+	sub := &subscription{
+		id:      b.nextID,
+		pattern: strings.Split(pattern, "/"),
+		handler: handler,
+		queue:   make(chan Message, 128),
+		done:    make(chan struct{}),
+	}
+	b.subs[sub.id] = sub
+	// Replay retained messages that match.
+	var replay []Message
+	for _, m := range b.retained {
+		if topicMatches(sub.pattern, strings.Split(m.Topic, "/")) {
+			replay = append(replay, m)
+		}
+	}
+	b.wg.Add(1)
+	go b.pump(sub)
+	b.mu.Unlock()
+
+	for _, m := range replay {
+		b.enqueue(sub, m)
+	}
+	return &Subscription{id: sub.id, broker: b}, nil
+}
+
+func (b *Broker) pump(sub *subscription) {
+	defer b.wg.Done()
+	for {
+		select {
+		case m := <-sub.queue:
+			sub.handler(m)
+			b.mu.Lock()
+			b.Delivered++
+			b.mu.Unlock()
+		case <-sub.done:
+			// Drain whatever is already queued, then exit.
+			for {
+				select {
+				case m := <-sub.queue:
+					sub.handler(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (b *Broker) enqueue(sub *subscription, m Message) {
+	for {
+		select {
+		case sub.queue <- m:
+			return
+		default:
+			// Bounded queue full: drop the oldest so fresh telemetry
+			// is not delayed by a slow consumer.
+			select {
+			case <-sub.queue:
+			default:
+			}
+		}
+	}
+}
+
+// Publish routes m to all matching subscriptions. With retain, the
+// message also replaces the retained message for its topic.
+func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	if strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("bus: topic %q must not contain wildcards", topic)
+	}
+	m := Message{Topic: topic, Payload: payload, Retained: false}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.Published++
+	if retain {
+		r := m
+		r.Retained = true
+		b.retained[topic] = r
+	}
+	parts := strings.Split(topic, "/")
+	var targets []*subscription
+	for _, sub := range b.subs {
+		if topicMatches(sub.pattern, parts) {
+			targets = append(targets, sub)
+		}
+	}
+	b.mu.Unlock()
+	for _, sub := range targets {
+		b.enqueue(sub, m)
+	}
+	return nil
+}
+
+// Close shuts the broker down and waits for handler goroutines to exit.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		delete(b.subs, id)
+		close(sub.done)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// RetainedTopics returns the topics with retained messages.
+func (b *Broker) RetainedTopics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.retained))
+	for t := range b.retained {
+		out = append(out, t)
+	}
+	return out
+}
+
+// validatePattern checks wildcard placement: "+" must occupy a whole
+// level; "#" must be the final level.
+func validatePattern(pattern string) error {
+	if pattern == "" {
+		return errors.New("bus: empty pattern")
+	}
+	parts := strings.Split(pattern, "/")
+	for i, p := range parts {
+		if strings.Contains(p, "#") && (p != "#" || i != len(parts)-1) {
+			return fmt.Errorf("bus: '#' must be the final level in %q", pattern)
+		}
+		if strings.Contains(p, "+") && p != "+" {
+			return fmt.Errorf("bus: '+' must occupy a whole level in %q", pattern)
+		}
+	}
+	return nil
+}
+
+// topicMatches reports whether a topic matches a pattern.
+func topicMatches(pattern, topic []string) bool {
+	for i, p := range pattern {
+		if p == "#" {
+			return true
+		}
+		if i >= len(topic) {
+			return false
+		}
+		if p != "+" && p != topic[i] {
+			return false
+		}
+	}
+	return len(pattern) == len(topic)
+}

@@ -1,0 +1,229 @@
+package bus
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect subscribes and returns a function that waits for n messages.
+func collect(t *testing.T, b *Broker, pattern string) (waitFor func(n int) []Message) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []Message
+	if _, err := b.Subscribe(pattern, func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("Subscribe(%q): %v", pattern, err)
+	}
+	return func(n int) []Message {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			if len(got) >= n {
+				out := append([]Message(nil), got...)
+				mu.Unlock()
+				return out
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("timed out waiting for %d messages on %q, have %d", n, pattern, len(got))
+		return nil
+	}
+}
+
+func TestExactTopicDelivery(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	wait := collect(t, b, "obs/dev1/temp")
+	if err := b.Publish("obs/dev1/temp", []byte("21"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("obs/dev2/temp", []byte("99"), false); err != nil {
+		t.Fatal(err)
+	}
+	got := wait(1)
+	time.Sleep(10 * time.Millisecond)
+	if len(got) != 1 || string(got[0].Payload) != "21" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPlusWildcard(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	wait := collect(t, b, "obs/+/temp")
+	b.Publish("obs/a/temp", []byte("1"), false)
+	b.Publish("obs/b/temp", []byte("2"), false)
+	b.Publish("obs/a/rpm", []byte("3"), false)    // no match
+	b.Publish("obs/a/b/temp", []byte("4"), false) // no match: + is one level
+	got := wait(2)
+	if len(got) != 2 {
+		t.Fatalf("got %d messages", len(got))
+	}
+}
+
+func TestHashWildcard(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	wait := collect(t, b, "obs/#")
+	b.Publish("obs/a/temp", nil, false)
+	b.Publish("obs/a/b/c/d", nil, false)
+	b.Publish("cmd/a", nil, false) // no match
+	got := wait(2)
+	if len(got) != 2 {
+		t.Fatalf("got %d messages", len(got))
+	}
+}
+
+func TestRetainedReplay(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	b.Publish("state/valve", []byte("open"), true)
+	wait := collect(t, b, "state/valve")
+	got := wait(1)
+	if string(got[0].Payload) != "open" || !got[0].Retained {
+		t.Fatalf("retained replay = %+v", got[0])
+	}
+	if topics := b.RetainedTopics(); len(topics) != 1 || topics[0] != "state/valve" {
+		t.Fatalf("RetainedTopics = %v", topics)
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var mu sync.Mutex
+	count := 0
+	sub, err := b.Subscribe("t", func(Message) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("t", nil, false)
+	time.Sleep(50 * time.Millisecond)
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	b.Publish("t", nil, false)
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestInvalidPatterns(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	for _, p := range []string{"", "a/#/b", "a/x#", "a/x+", "+x/a"} {
+		if _, err := b.Subscribe(p, func(Message) {}); err == nil {
+			t.Errorf("pattern %q accepted", p)
+		}
+	}
+}
+
+func TestPublishWildcardTopicRejected(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if err := b.Publish("a/+/b", nil, false); err == nil {
+		t.Fatal("wildcard topic accepted")
+	}
+}
+
+func TestClosedBroker(t *testing.T) {
+	b := NewBroker()
+	b.Close()
+	b.Close() // idempotent
+	if err := b.Publish("t", nil, false); err != ErrClosed {
+		t.Fatalf("Publish err = %v", err)
+	}
+	if _, err := b.Subscribe("t", func(Message) {}); err != ErrClosed {
+		t.Fatalf("Subscribe err = %v", err)
+	}
+}
+
+func TestSlowConsumerDoesNotBlockOthers(t *testing.T) {
+	b := NewBroker()
+	block := make(chan struct{})
+	defer b.Close()    // runs last (after the handler is unblocked)
+	defer close(block) // LIFO: unblocks the slow handler first
+	if _, err := b.Subscribe("t", func(Message) { <-block }); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var last []byte
+	count := 0
+	if _, err := b.Subscribe("t", func(m Message) {
+		mu.Lock()
+		count++
+		last = m.Payload
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Burst past the slow consumer's queue; drop-oldest may shed some
+	// of the burst for any consumer, but the fabric must keep moving:
+	// a message published after the burst must still arrive.
+	for i := 0; i < 300; i++ {
+		b.Publish("t", []byte("burst"), false)
+	}
+	b.Publish("t", []byte("final"), false)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := string(last) == "final"
+		n := count
+		mu.Unlock()
+		if done {
+			if n < 128 {
+				t.Fatalf("fast consumer got only %d messages", n)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("final message never reached the fast consumer")
+}
+
+func TestTopicMatchesTable(t *testing.T) {
+	cases := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/b/c", false},
+		{"a/+", "a/b", true},
+		{"a/+", "a", false},
+		{"+/+", "a/b", true},
+		{"#", "anything/at/all", true},
+		{"a/#", "a", true}, // MQTT: '#' also matches the parent level
+		{"a/#", "a/b/c", true},
+	}
+	for _, c := range cases {
+		got := topicMatches(splitPat(c.pattern), splitPat(c.topic))
+		if got != c.want {
+			t.Errorf("match(%q, %q) = %v, want %v", c.pattern, c.topic, got, c.want)
+		}
+	}
+}
+
+func splitPat(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '/' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package clock abstracts time for components that must run identically
+// on the simulator's virtual clock and on the wall clock (CoAP message
+// layer, gossip rounds, replica timeouts).
+package clock
+
+import (
+	"sync"
+	"time"
+
+	"iiotds/internal/sim"
+)
+
+// CancelFunc cancels a scheduled call; safe to call more than once.
+type CancelFunc func()
+
+// Scheduler schedules future work and reports a monotonic now.
+type Scheduler interface {
+	// Schedule runs fn after d.
+	Schedule(d time.Duration, fn func()) CancelFunc
+	// Now returns a monotonic timestamp.
+	Now() time.Duration
+}
+
+// System implements Scheduler on the wall clock.
+type System struct {
+	start time.Time
+	once  sync.Once
+}
+
+func (s *System) init() { s.once.Do(func() { s.start = time.Now() }) }
+
+// Schedule implements Scheduler using time.AfterFunc.
+func (s *System) Schedule(d time.Duration, fn func()) CancelFunc {
+	s.init()
+	t := time.AfterFunc(d, fn)
+	return func() { t.Stop() }
+}
+
+// Now implements Scheduler.
+func (s *System) Now() time.Duration {
+	s.init()
+	return time.Since(s.start)
+}
+
+// Kernel adapts a simulation kernel to the Scheduler interface.
+type Kernel struct {
+	K *sim.Kernel
+}
+
+// Schedule implements Scheduler.
+func (k Kernel) Schedule(d time.Duration, fn func()) CancelFunc {
+	e := k.K.Schedule(d, fn)
+	return func() { e.Cancel() }
+}
+
+// Now implements Scheduler.
+func (k Kernel) Now() time.Duration { return k.K.Now() }
+
+var (
+	_ Scheduler = (*System)(nil)
+	_ Scheduler = Kernel{}
+)

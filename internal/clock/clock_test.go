@@ -1,0 +1,73 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"iiotds/internal/sim"
+)
+
+func TestKernelSchedulerUsesVirtualTime(t *testing.T) {
+	k := sim.New(1)
+	s := Kernel{K: k}
+	fired := false
+	s.Schedule(time.Hour, func() { fired = true })
+	if s.Now() != 0 {
+		t.Fatalf("Now() = %v before running", s.Now())
+	}
+	k.RunUntil(2 * time.Hour)
+	if !fired {
+		t.Fatal("scheduled call did not fire")
+	}
+	if s.Now() != 2*time.Hour {
+		t.Fatalf("Now() = %v, want 2h", s.Now())
+	}
+}
+
+func TestKernelSchedulerCancel(t *testing.T) {
+	k := sim.New(1)
+	s := Kernel{K: k}
+	fired := false
+	cancel := s.Schedule(time.Second, func() { fired = true })
+	cancel()
+	cancel() // idempotent
+	k.Run()
+	if fired {
+		t.Fatal("canceled call fired")
+	}
+}
+
+func TestSystemSchedulerFiresAndCancels(t *testing.T) {
+	var s System
+	var mu sync.Mutex
+	fired := false
+	done := make(chan struct{})
+	s.Schedule(time.Millisecond, func() {
+		mu.Lock()
+		fired = true
+		mu.Unlock()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("system scheduler never fired")
+	}
+	mu.Lock()
+	ok := fired
+	mu.Unlock()
+	if !ok {
+		t.Fatal("not fired")
+	}
+	// Cancel before fire.
+	canceled := false
+	cancel := s.Schedule(time.Hour, func() { canceled = true })
+	cancel()
+	if canceled {
+		t.Fatal("canceled call ran")
+	}
+	if s.Now() <= 0 {
+		t.Fatal("system Now() not monotonic from start")
+	}
+}

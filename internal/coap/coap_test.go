@@ -1,0 +1,524 @@
+package coap
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iiotds/internal/sim"
+)
+
+// --- codec tests ---
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodeGET,
+		MessageID: 4242,
+		Token:     []byte{1, 2, 3, 4},
+		Payload:   []byte("hello"),
+	}
+	m.SetPath("sensors/temp/1")
+	m.AddUintOption(OptContentFormat, FormatJSON)
+	m.AddUintOption(OptObserve, 0)
+	m.AddOption(OptURIQuery, []byte("unit=c"))
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Code != m.Code || got.MessageID != m.MessageID {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Token, m.Token) || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("token/payload mismatch")
+	}
+	if got.Path() != "sensors/temp/1" {
+		t.Fatalf("path = %q", got.Path())
+	}
+	if cf, ok := got.Option(OptContentFormat); !ok || cf.Uint() != FormatJSON {
+		t.Fatal("content format lost")
+	}
+	if q := got.Queries(); len(q) != 1 || q[0] != "unit=c" {
+		t.Fatalf("queries = %v", q)
+	}
+}
+
+func TestLargeOptionDeltasAndLengths(t *testing.T) {
+	m := &Message{Type: NonConfirmable, Code: CodeContent, MessageID: 1}
+	// Delta 1 (IfMatch), then a jump to a large custom option number
+	// (forces 14-nibble extended delta), plus a long value (extended len).
+	m.AddOption(OptIfMatch, []byte{9})
+	m.AddOption(OptionID(2000), bytes.Repeat([]byte{0xAB}, 300))
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != 2 {
+		t.Fatalf("options = %d", len(got.Options))
+	}
+	o, ok := got.Option(OptionID(2000))
+	if !ok || len(o.Value) != 300 || o.Value[0] != 0xAB {
+		t.Fatal("extended option mangled")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"short":           {0x40, 0x01},
+		"bad version":     {0x80, 0x01, 0, 1},
+		"token too long":  {0x49, 0x01, 0, 1},
+		"truncated token": {0x44, 0x01, 0, 1, 0xAA},
+		"marker no data":  {0x40, 0x01, 0, 1, 0xFF},
+		"reserved nibble": {0x40, 0x01, 0, 1, 0xF0},
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestMarshalTokenTooLong(t *testing.T) {
+	m := &Message{Token: make([]byte, 9)}
+	if _, err := m.Marshal(); err != ErrBadToken {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	if got := CodeContent.String(); got != "2.05" {
+		t.Fatalf("CodeContent = %q", got)
+	}
+	if got := CodeNotFound.String(); got != "4.04" {
+		t.Fatalf("CodeNotFound = %q", got)
+	}
+	if !CodeGET.IsRequest() || CodeGET.IsResponse() {
+		t.Fatal("GET classification wrong")
+	}
+	if !CodeContent.IsSuccess() || CodeNotFound.IsSuccess() {
+		t.Fatal("success classification wrong")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		Confirmable: "CON", NonConfirmable: "NON",
+		Acknowledgement: "ACK", Reset: "RST",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d = %q, want %q", typ, typ.String(), want)
+		}
+	}
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(typ uint8, code uint8, mid uint16, token []byte, payload []byte, path string) bool {
+		if len(token) > 8 {
+			token = token[:8]
+		}
+		m := &Message{
+			Type: Type(typ % 4), Code: Code(code), MessageID: mid,
+			Token: token, Payload: payload,
+		}
+		m.SetPath(path)
+		data, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.Type != m.Type || got.Code != m.Code || got.MessageID != m.MessageID {
+			return false
+		}
+		if len(token) > 0 && !bytes.Equal(got.Token, token) {
+			return false
+		}
+		if len(payload) > 0 && !bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPathEdgeCases(t *testing.T) {
+	m := &Message{}
+	m.SetPath("//a//b/")
+	if got := m.Path(); got != "a/b" {
+		t.Fatalf("path = %q, want a/b", got)
+	}
+	m.SetPath("")
+	if got := m.Path(); got != "" {
+		t.Fatalf("empty path = %q", got)
+	}
+}
+
+// --- endpoint tests (deterministic: virtual time + loop transport) ---
+
+type world struct {
+	k     *sim.Kernel
+	board *Switchboard
+}
+
+func newWorld() *world {
+	return &world{k: sim.New(1), board: NewSwitchboard()}
+}
+
+func (w *world) endpoint(addr string, cfg ConnConfig) (*Conn, *LoopTransport) {
+	tr := w.board.Attach(addr)
+	return NewConn(tr, KernelScheduler{K: w.k}, cfg), tr
+}
+
+func newServerConn(w *world, addr string) (*Conn, *Server) {
+	conn, _ := w.endpoint(addr, ConnConfig{})
+	srv := NewServer()
+	srv.Resource("sensors/temp").ResourceType("iiot.temp").Get(func(from string, req *Message) *Message {
+		return TextResponse("21.5")
+	})
+	srv.Resource("actuators/valve").Put(func(from string, req *Message) *Message {
+		return &Message{Code: CodeChanged}
+	})
+	conn.Serve(srv)
+	return conn, srv
+}
+
+func TestGetRequestResponse(t *testing.T) {
+	w := newWorld()
+	newServerConn(w, "srv")
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	var resp *Message
+	cli.Get("srv", "sensors/temp", func(m *Message, err error) {
+		if err != nil {
+			t.Errorf("unexpected error: %v", err)
+			return
+		}
+		resp = m
+	})
+	w.k.RunFor(time.Second)
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if resp.Code != CodeContent || string(resp.Payload) != "21.5" {
+		t.Fatalf("resp = %v %q", resp.Code, resp.Payload)
+	}
+}
+
+func TestPutChangesAndNotFound(t *testing.T) {
+	w := newWorld()
+	newServerConn(w, "srv")
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	var codes []Code
+	cli.Put("srv", "actuators/valve", FormatText, []byte("open"), func(m *Message, err error) {
+		codes = append(codes, m.Code)
+	})
+	cli.Get("srv", "no/such/path", func(m *Message, err error) {
+		codes = append(codes, m.Code)
+	})
+	cli.Post("srv", "sensors/temp", FormatText, nil, func(m *Message, err error) {
+		codes = append(codes, m.Code) // POST not allowed on temp
+	})
+	w.k.RunFor(time.Second)
+	if len(codes) != 3 || codes[0] != CodeChanged || codes[1] != CodeNotFound || codes[2] != CodeMethodNotAllowed {
+		t.Fatalf("codes = %v", codes)
+	}
+}
+
+func TestConRetransmissionRecoversFromLoss(t *testing.T) {
+	w := newWorld()
+	newServerConn(w, "srv")
+	cli, tr := w.endpoint("cli", ConnConfig{AckTimeout: time.Second})
+	tr.SetDropFirst(2) // first two transmissions vanish
+	var resp *Message
+	cli.Get("srv", "sensors/temp", func(m *Message, err error) { resp = m })
+	w.k.RunFor(30 * time.Second)
+	if resp == nil || string(resp.Payload) != "21.5" {
+		t.Fatal("retransmission did not recover the exchange")
+	}
+	if tr.Sent() < 3 {
+		t.Fatalf("sent %d datagrams, want ≥3", tr.Sent())
+	}
+}
+
+func TestConGivesUpAfterMaxRetransmit(t *testing.T) {
+	w := newWorld()
+	cli, tr := w.endpoint("cli", ConnConfig{AckTimeout: time.Second, MaxRetransmit: 3})
+	tr.SetDropEvery(1) // everything is lost
+	var gotErr error
+	cli.Get("nowhere", "x", func(m *Message, err error) { gotErr = err })
+	w.k.RunFor(5 * time.Minute)
+	if gotErr != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", gotErr)
+	}
+	if tr.Sent() != 4 { // initial + 3 retransmits
+		t.Fatalf("sent %d, want 4", tr.Sent())
+	}
+}
+
+func TestServerDedupRepliesFromCache(t *testing.T) {
+	w := newWorld()
+	srvConn, _ := w.endpoint("srv", ConnConfig{})
+	calls := 0
+	srv := NewServer()
+	srv.Resource("count").Get(func(from string, req *Message) *Message {
+		calls++
+		return TextResponse(fmt.Sprint(calls))
+	})
+	srvConn.Serve(srv)
+
+	cli, _ := w.endpoint("cli", ConnConfig{AckTimeout: time.Second})
+	// Drop the server's first response so the client retransmits the
+	// same MID; the handler must run once and the cached response must
+	// be replayed.
+	srvTr := srvConn.tr.(*LoopTransport)
+	srvTr.SetDropFirst(1)
+	var resp *Message
+	cli.Get("srv", "count", func(m *Message, err error) { resp = m })
+	w.k.RunFor(time.Minute)
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times, want 1 (dedup)", calls)
+	}
+	if string(resp.Payload) != "1" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+}
+
+func TestNonRequestTimeout(t *testing.T) {
+	w := newWorld()
+	cli, _ := w.endpoint("cli", ConnConfig{NonTimeout: 5 * time.Second})
+	var gotErr error
+	m := &Message{Type: NonConfirmable, Code: CodeGET}
+	m.SetPath("x")
+	cli.Request("ghost", m, func(resp *Message, err error) { gotErr = err })
+	w.k.RunFor(time.Minute)
+	if gotErr != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", gotErr)
+	}
+}
+
+func TestObserveNotifications(t *testing.T) {
+	w := newWorld()
+	srvConn, _ := w.endpoint("srv", ConnConfig{})
+	srv := NewServer()
+	temp := srv.Resource("temp").Observable().Get(func(from string, req *Message) *Message {
+		return TextResponse("20.0")
+	})
+	srvConn.Serve(srv)
+
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	var payloads []string
+	var seqs []uint32
+	tok := cli.Observe("srv", "temp", func(m *Message, err error) {
+		if err != nil {
+			return
+		}
+		payloads = append(payloads, string(m.Payload))
+		if o, ok := m.Option(OptObserve); ok {
+			seqs = append(seqs, o.Uint())
+		}
+	})
+	w.k.RunFor(time.Second)
+	if temp.ObserverCount() != 1 {
+		t.Fatalf("observers = %d", temp.ObserverCount())
+	}
+	temp.Notify(FormatText, []byte("20.5"))
+	w.k.RunFor(time.Second)
+	temp.Notify(FormatText, []byte("21.0"))
+	w.k.RunFor(time.Second)
+	want := []string{"20.0", "20.5", "21.0"}
+	if len(payloads) != 3 {
+		t.Fatalf("payloads = %v", payloads)
+	}
+	for i := range want {
+		if payloads[i] != want[i] {
+			t.Fatalf("payloads = %v", payloads)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("observe seq not increasing: %v", seqs)
+		}
+	}
+	// Cancel: no further notifications.
+	cli.CancelObserve("srv", tok, "temp")
+	w.k.RunFor(time.Second)
+	if temp.ObserverCount() != 0 {
+		t.Fatal("observer not removed after cancel")
+	}
+	temp.Notify(FormatText, []byte("99"))
+	w.k.RunFor(time.Second)
+	if len(payloads) != 3 {
+		t.Fatalf("notification after cancel: %v", payloads)
+	}
+}
+
+func TestObserverDroppedOnRST(t *testing.T) {
+	w := newWorld()
+	srvConn, _ := w.endpoint("srv", ConnConfig{})
+	srv := NewServer()
+	temp := srv.Resource("temp").Observable().Get(func(string, *Message) *Message {
+		return TextResponse("x")
+	})
+	srvConn.Serve(srv)
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	cli.Observe("srv", "temp", func(m *Message, err error) {})
+	w.k.RunFor(time.Second)
+	// Client dies; a fresh endpoint at the same address RSTs unknown
+	// notifications, and the server must clean up.
+	_ = cli.Close()
+	cli2, _ := w.endpoint("cli2", ConnConfig{})
+	_ = cli2
+	// Replace the address: simulate by re-attaching "cli".
+	fresh := NewConn(w.board.Attach("cli"), KernelScheduler{K: w.k}, ConnConfig{})
+	_ = fresh
+	temp.Notify(FormatText, []byte("y"))
+	w.k.RunFor(time.Second)
+	if temp.ObserverCount() != 0 {
+		t.Fatalf("observer count = %d after RST, want 0", temp.ObserverCount())
+	}
+}
+
+func TestBlockwiseTransfer(t *testing.T) {
+	w := newWorld()
+	srvConn, _ := w.endpoint("srv", ConnConfig{BlockSize: 64})
+	big := strings.Repeat("0123456789abcdef", 40) // 640 bytes
+	srv := NewServer()
+	srv.Resource("fw").Get(func(string, *Message) *Message {
+		return TextResponse(big)
+	})
+	srvConn.Serve(srv)
+	cli, _ := w.endpoint("cli", ConnConfig{BlockSize: 64})
+	var resp *Message
+	cli.Get("srv", "fw", func(m *Message, err error) {
+		if err != nil {
+			t.Errorf("blockwise error: %v", err)
+			return
+		}
+		resp = m
+	})
+	w.k.RunFor(time.Minute)
+	if resp == nil {
+		t.Fatal("no reassembled response")
+	}
+	if string(resp.Payload) != big {
+		t.Fatalf("reassembled %d bytes, want %d", len(resp.Payload), len(big))
+	}
+}
+
+func TestBlockwiseOutOfRange(t *testing.T) {
+	w := newWorld()
+	srvConn, _ := w.endpoint("srv", ConnConfig{BlockSize: 64})
+	srv := NewServer()
+	srv.Resource("fw").Get(func(string, *Message) *Message { return TextResponse("small") })
+	srvConn.Serve(srv)
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	m := &Message{Type: Confirmable, Code: CodeGET}
+	m.SetPath("fw")
+	m.AddUintOption(OptBlock2, 99<<4) // block 99 of a 5-byte payload
+	var code Code
+	cli.Request("srv", m, func(resp *Message, err error) {
+		if err == nil {
+			code = resp.Code
+		}
+	})
+	w.k.RunFor(time.Minute)
+	if code != CodeBadRequest {
+		t.Fatalf("code = %v, want 4.00", code)
+	}
+}
+
+func TestWellKnownCore(t *testing.T) {
+	w := newWorld()
+	srvConn, _ := w.endpoint("srv", ConnConfig{})
+	srv := NewServer()
+	srv.Resource("sensors/temp").ResourceType("iiot.temp").Observable().Get(func(string, *Message) *Message {
+		return TextResponse("1")
+	})
+	srv.Resource("actuators/valve").Put(func(string, *Message) *Message {
+		return &Message{Code: CodeChanged}
+	})
+	srvConn.Serve(srv)
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	var body string
+	cli.Get("srv", ".well-known/core", func(m *Message, err error) {
+		if err == nil {
+			body = string(m.Payload)
+		}
+	})
+	w.k.RunFor(time.Second)
+	if !strings.Contains(body, "</sensors/temp>") || !strings.Contains(body, `rt="iiot.temp"`) ||
+		!strings.Contains(body, ";obs") || !strings.Contains(body, "</actuators/valve>") {
+		t.Fatalf("link format = %q", body)
+	}
+}
+
+func TestCloseFailsOutstanding(t *testing.T) {
+	w := newWorld()
+	cli, _ := w.endpoint("cli", ConnConfig{})
+	var gotErr error
+	cli.Get("void", "x", func(m *Message, err error) { gotErr = err })
+	_ = cli.Close()
+	if gotErr != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", gotErr)
+	}
+	// Requests after close fail immediately.
+	var after error
+	cli.Get("void", "x", func(m *Message, err error) { after = err })
+	if after != ErrClosed {
+		t.Fatalf("after-close err = %v", after)
+	}
+}
+
+func TestUDPTransportEndToEnd(t *testing.T) {
+	srvTr, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP: %v", err)
+	}
+	srvConn := NewConn(srvTr, &SystemScheduler{}, ConnConfig{})
+	defer srvConn.Close()
+	srv := NewServer()
+	srv.Resource("ping").Get(func(string, *Message) *Message { return TextResponse("pong") })
+	srvConn.Serve(srv)
+
+	cliTr, err := NewUDPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewConn(cliTr, &SystemScheduler{}, ConnConfig{})
+	defer cli.Close()
+
+	done := make(chan string, 1)
+	cli.Get(srvTr.LocalAddr(), "ping", func(m *Message, err error) {
+		if err != nil {
+			done <- "err:" + err.Error()
+			return
+		}
+		done <- string(m.Payload)
+	})
+	select {
+	case got := <-done:
+		if got != "pong" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("UDP round trip timed out")
+	}
+}

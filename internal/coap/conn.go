@@ -1,0 +1,501 @@
+package coap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Request/exchange errors.
+var (
+	ErrTimeout          = errors.New("coap: request timed out")
+	ErrReset            = errors.New("coap: peer reset the exchange")
+	ErrClosed           = errors.New("coap: connection closed")
+	ErrTooManyObservers = errors.New("coap: observer table full")
+)
+
+// ConnConfig tunes the message layer (defaults follow RFC 7252 §4.8).
+type ConnConfig struct {
+	// AckTimeout is the initial CON retransmission timeout (default 2 s).
+	AckTimeout time.Duration
+	// AckRandomFactor spreads the initial timeout (default 1.5).
+	AckRandomFactor float64
+	// MaxRetransmit is the CON retransmission budget (default 4).
+	MaxRetransmit int
+	// NonTimeout is how long a NON request waits for its response
+	// (default 10 s).
+	NonTimeout time.Duration
+	// ExchangeLifetime bounds message-ID deduplication state
+	// (default 60 s; the RFC's 247 s is long for simulations).
+	ExchangeLifetime time.Duration
+	// BlockSize is the block-wise transfer block size; must be a power
+	// of two in [16,1024] (default 64, sized to constrained links).
+	BlockSize int
+	// Seed seeds the deterministic jitter source (default 1).
+	Seed int64
+}
+
+func (c *ConnConfig) applyDefaults() {
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 2 * time.Second
+	}
+	if c.AckRandomFactor == 0 {
+		c.AckRandomFactor = 1.5
+	}
+	if c.MaxRetransmit == 0 {
+		c.MaxRetransmit = 4
+	}
+	if c.NonTimeout == 0 {
+		c.NonTimeout = 10 * time.Second
+	}
+	if c.ExchangeLifetime == 0 {
+		c.ExchangeLifetime = 60 * time.Second
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// ResponseFunc receives the outcome of a request: exactly one of resp and
+// err is non-nil, except observe registrations where it fires once per
+// notification.
+type ResponseFunc func(resp *Message, err error)
+
+// outCON tracks an in-flight confirmable message awaiting its ACK.
+type outCON struct {
+	data     []byte
+	addr     string
+	attempts int
+	timeout  time.Duration
+	cancel   CancelFunc
+	onFail   func(err error)
+}
+
+// reqState tracks a request awaiting its response (matched by token).
+type reqState struct {
+	fn      ResponseFunc
+	observe bool
+	timer   CancelFunc
+	// Block-wise assembly state.
+	assembling []byte
+	origReq    *Message
+	addr       string
+}
+
+type dedupEntry struct {
+	at       time.Duration
+	response []byte // cached ACK/response bytes for duplicate CONs
+}
+
+// Conn is a CoAP endpoint: client and server share one transport, as the
+// protocol intends.
+type Conn struct {
+	tr    Transport
+	sched Scheduler
+	cfg   ConnConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	nextMID   uint16
+	nextToken uint64
+	pending   map[string]*outCON    // addr|mid
+	awaiting  map[string]*reqState  // addr|token
+	dedup     map[string]dedupEntry // addr|mid
+	closed    bool
+
+	server *Server
+}
+
+// NewConn creates an endpoint over tr, driven by sched.
+func NewConn(tr Transport, sched Scheduler, cfg ConnConfig) *Conn {
+	cfg.applyDefaults()
+	c := &Conn{
+		tr:       tr,
+		sched:    sched,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nextMID:  uint16(cfg.Seed),
+		pending:  make(map[string]*outCON),
+		awaiting: make(map[string]*reqState),
+		dedup:    make(map[string]dedupEntry),
+	}
+	tr.SetReceiver(c.onDatagram)
+	return c
+}
+
+// Serve installs a server (resource tree) on this endpoint.
+func (c *Conn) Serve(s *Server) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.server = s
+	s.conn = c
+}
+
+// LocalAddr returns the transport address.
+func (c *Conn) LocalAddr() string { return c.tr.LocalAddr() }
+
+// Close shuts the endpoint down; outstanding requests fail with ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for _, p := range c.pending {
+		if p.cancel != nil {
+			p.cancel()
+		}
+	}
+	var fns []ResponseFunc
+	for _, r := range c.awaiting {
+		if r.timer != nil {
+			r.timer()
+		}
+		fns = append(fns, r.fn)
+	}
+	c.pending = map[string]*outCON{}
+	c.awaiting = map[string]*reqState{}
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn(nil, ErrClosed)
+	}
+	return c.tr.Close()
+}
+
+func key(addr string, mid uint16) string { return fmt.Sprintf("%s|%d", addr, mid) }
+
+func tokenKey(addr string, token []byte) string {
+	return fmt.Sprintf("%s|%x", addr, token)
+}
+
+func (c *Conn) newMID() uint16 {
+	c.nextMID++
+	return c.nextMID
+}
+
+func (c *Conn) newToken() []byte {
+	c.nextToken++
+	tok := make([]byte, 8)
+	binary.BigEndian.PutUint64(tok, c.nextToken)
+	return tok
+}
+
+// Request sends req to addr and invokes fn with the response. If req.Type
+// is Confirmable, the message layer retransmits with exponential backoff.
+// Responses carrying Block2 with the "more" flag are fetched and
+// reassembled transparently. If the request carries Observe=0, fn fires
+// once per notification until CancelObserve.
+func (c *Conn) Request(addr string, req *Message, fn ResponseFunc) {
+	if fn == nil {
+		fn = func(*Message, error) {} // fire-and-forget request
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		fn(nil, ErrClosed)
+		return
+	}
+	if req.Token == nil {
+		req.Token = c.newToken()
+	}
+	req.MessageID = c.newMID()
+	obsOpt, isObs := req.Option(OptObserve)
+	observe := isObs && obsOpt.Uint() == 0
+	st := &reqState{fn: fn, observe: observe, origReq: req, addr: addr}
+	tk := tokenKey(addr, req.Token)
+	c.awaiting[tk] = st
+	if req.Type == NonConfirmable {
+		st.timer = c.sched.Schedule(c.cfg.NonTimeout, func() {
+			c.failRequest(tk, ErrTimeout)
+		})
+	}
+	c.mu.Unlock()
+	c.send(addr, req, func(err error) { c.failRequest(tk, err) })
+}
+
+// Get is a convenience confirmable GET.
+func (c *Conn) Get(addr, path string, fn ResponseFunc) {
+	m := &Message{Type: Confirmable, Code: CodeGET}
+	m.SetPath(path)
+	c.Request(addr, m, fn)
+}
+
+// Put is a convenience confirmable PUT.
+func (c *Conn) Put(addr, path string, contentFormat uint32, payload []byte, fn ResponseFunc) {
+	m := &Message{Type: Confirmable, Code: CodePUT, Payload: payload}
+	m.SetPath(path)
+	m.AddUintOption(OptContentFormat, contentFormat)
+	c.Request(addr, m, fn)
+}
+
+// Post is a convenience confirmable POST.
+func (c *Conn) Post(addr, path string, contentFormat uint32, payload []byte, fn ResponseFunc) {
+	m := &Message{Type: Confirmable, Code: CodePOST, Payload: payload}
+	m.SetPath(path)
+	m.AddUintOption(OptContentFormat, contentFormat)
+	c.Request(addr, m, fn)
+}
+
+// Observe registers for notifications of path at addr. The returned token
+// identifies the registration for CancelObserve.
+func (c *Conn) Observe(addr, path string, fn ResponseFunc) []byte {
+	m := &Message{Type: Confirmable, Code: CodeGET}
+	m.SetPath(path)
+	m.AddUintOption(OptObserve, 0)
+	c.mu.Lock()
+	tok := c.newToken()
+	c.mu.Unlock()
+	m.Token = tok
+	c.Request(addr, m, fn)
+	return tok
+}
+
+// CancelObserve deregisters a previous Observe (RFC 7641 §3.6, with
+// Observe=1).
+func (c *Conn) CancelObserve(addr string, token []byte, path string) {
+	c.mu.Lock()
+	delete(c.awaiting, tokenKey(addr, token))
+	c.mu.Unlock()
+	m := &Message{Type: NonConfirmable, Code: CodeGET, Token: token, MessageID: 0}
+	m.SetPath(path)
+	m.AddUintOption(OptObserve, 1)
+	c.mu.Lock()
+	m.MessageID = c.newMID()
+	c.mu.Unlock()
+	data, err := m.Marshal()
+	if err == nil {
+		_ = c.tr.Send(addr, data)
+	}
+}
+
+// failRequest finishes a pending request with an error.
+func (c *Conn) failRequest(tk string, err error) {
+	c.mu.Lock()
+	st, ok := c.awaiting[tk]
+	if ok {
+		delete(c.awaiting, tk)
+		if st.timer != nil {
+			st.timer()
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		st.fn(nil, err)
+	}
+}
+
+// send transmits m to addr; for CONs it installs the retransmission state.
+// onFail fires if the message layer gives up.
+func (c *Conn) send(addr string, m *Message, onFail func(err error)) {
+	data, err := m.Marshal()
+	if err != nil {
+		if onFail != nil {
+			onFail(err)
+		}
+		return
+	}
+	if m.Type == Confirmable {
+		c.mu.Lock()
+		timeout := time.Duration(float64(c.cfg.AckTimeout) * (1 + (c.cfg.AckRandomFactor-1)*c.rng.Float64()))
+		p := &outCON{data: data, addr: addr, timeout: timeout, onFail: onFail}
+		k := key(addr, m.MessageID)
+		c.pending[k] = p
+		c.armRetransmit(k, p)
+		c.mu.Unlock()
+	}
+	_ = c.tr.Send(addr, data)
+}
+
+// armRetransmit must be called with c.mu held.
+func (c *Conn) armRetransmit(k string, p *outCON) {
+	p.cancel = c.sched.Schedule(p.timeout, func() {
+		c.mu.Lock()
+		cur, ok := c.pending[k]
+		if !ok || cur != p || c.closed {
+			c.mu.Unlock()
+			return
+		}
+		p.attempts++
+		if p.attempts > c.cfg.MaxRetransmit {
+			delete(c.pending, k)
+			onFail := p.onFail
+			c.mu.Unlock()
+			if onFail != nil {
+				onFail(ErrTimeout)
+			}
+			return
+		}
+		p.timeout *= 2
+		c.armRetransmit(k, p)
+		data, addr := p.data, p.addr
+		c.mu.Unlock()
+		_ = c.tr.Send(addr, data)
+	})
+}
+
+// ackReceived clears retransmission state for (addr, mid).
+func (c *Conn) ackReceived(addr string, mid uint16) {
+	c.mu.Lock()
+	k := key(addr, mid)
+	if p, ok := c.pending[k]; ok {
+		if p.cancel != nil {
+			p.cancel()
+		}
+		delete(c.pending, k)
+	}
+	c.mu.Unlock()
+}
+
+// onDatagram is the transport receive callback.
+func (c *Conn) onDatagram(from string, data []byte) {
+	m, err := Unmarshal(data)
+	if err != nil {
+		return // RFC: silently ignore garbage
+	}
+	switch m.Type {
+	case Acknowledgement:
+		c.ackReceived(from, m.MessageID)
+		if m.Code != CodeEmpty {
+			c.handleResponse(from, m)
+		}
+	case Reset:
+		c.ackReceived(from, m.MessageID)
+		c.handleReset(from, m)
+	case Confirmable, NonConfirmable:
+		if m.Code.IsRequest() {
+			c.handleRequest(from, m)
+		} else if m.Code.IsResponse() {
+			if m.Type == Confirmable {
+				c.sendEmpty(Acknowledgement, from, m.MessageID)
+			}
+			c.handleResponse(from, m)
+		} else if m.Type == Confirmable {
+			// CON ping: answer with RST per RFC 7252 §4.3.
+			c.sendEmpty(Reset, from, m.MessageID)
+		}
+	}
+}
+
+func (c *Conn) sendEmpty(t Type, addr string, mid uint16) {
+	m := &Message{Type: t, Code: CodeEmpty, MessageID: mid}
+	data, err := m.Marshal()
+	if err == nil {
+		_ = c.tr.Send(addr, data)
+	}
+}
+
+func (c *Conn) handleReset(from string, m *Message) {
+	// A RST aborts whatever exchange used this MID; observers are
+	// removed by the server layer on notification RSTs.
+	if c.server != nil {
+		c.server.removeObserverByMID(from, m.MessageID)
+	}
+}
+
+// handleResponse routes a response to its waiting request by token.
+func (c *Conn) handleResponse(from string, m *Message) {
+	tk := tokenKey(from, m.Token)
+	c.mu.Lock()
+	st, ok := c.awaiting[tk]
+	if !ok {
+		c.mu.Unlock()
+		// Unsolicited response (e.g., notification after cancel): RST
+		// non-ACK messages so the peer stops.
+		if m.Type == NonConfirmable || m.Type == Confirmable {
+			c.sendEmpty(Reset, from, m.MessageID)
+		}
+		return
+	}
+	// Block-wise: accumulate and continue fetching.
+	if blk, has := m.Option(OptBlock2); has && m.Code.IsSuccess() {
+		v := blk.Uint()
+		more := v&0x8 != 0
+		st.assembling = append(st.assembling, m.Payload...)
+		if more {
+			num := v >> 4
+			szx := v & 0x7
+			next := *st.origReq
+			next.Token = m.Token
+			next.MessageID = c.newMID()
+			next.RemoveOption(OptBlock2)
+			next.AddUintOption(OptBlock2, (num+1)<<4|szx)
+			next.Payload = nil
+			addr := st.addr
+			c.mu.Unlock()
+			c.send(addr, &next, func(err error) { c.failRequest(tk, err) })
+			return
+		}
+		m.Payload = st.assembling
+		st.assembling = nil
+	}
+	if !st.observe {
+		delete(c.awaiting, tk)
+		if st.timer != nil {
+			st.timer()
+		}
+	}
+	fn := st.fn
+	c.mu.Unlock()
+	fn(m, nil)
+}
+
+// handleRequest dispatches an inbound request to the server.
+func (c *Conn) handleRequest(from string, m *Message) {
+	now := c.sched.Now()
+	k := key(from, m.MessageID)
+	c.mu.Lock()
+	// Deduplicate: replay the cached response for a repeated CON.
+	for dk, e := range c.dedup {
+		if now-e.at > c.cfg.ExchangeLifetime {
+			delete(c.dedup, dk)
+		}
+	}
+	if e, dup := c.dedup[k]; dup && m.Type == Confirmable {
+		c.mu.Unlock()
+		if e.response != nil {
+			_ = c.tr.Send(from, e.response)
+		}
+		return
+	}
+	server := c.server
+	c.mu.Unlock()
+
+	var resp *Message
+	if server == nil {
+		resp = &Message{Code: CodeNotImplemented}
+	} else {
+		resp = server.handle(from, m)
+	}
+	if resp == nil {
+		// Server chose not to respond (e.g., observe dereg via RST).
+		if m.Type == Confirmable {
+			c.sendEmpty(Acknowledgement, from, m.MessageID)
+		}
+		return
+	}
+	resp.Token = m.Token
+	if m.Type == Confirmable {
+		resp.Type = Acknowledgement
+		resp.MessageID = m.MessageID
+	} else {
+		resp.Type = NonConfirmable
+		c.mu.Lock()
+		resp.MessageID = c.newMID()
+		c.mu.Unlock()
+	}
+	data, err := resp.Marshal()
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.dedup[k] = dedupEntry{at: now, response: data}
+	c.mu.Unlock()
+	_ = c.tr.Send(from, data)
+}

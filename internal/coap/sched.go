@@ -1,0 +1,7 @@
+package coap
+
+import "iiotds/internal/clock"
+
+// KernelScheduler adapts the simulation kernel to the Scheduler
+// interface, so CoAP exchanges inside the emulation run on virtual time.
+type KernelScheduler = clock.Kernel

@@ -1,0 +1,313 @@
+package coap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// HandlerFunc serves one request method on one resource. It returns the
+// response message (Code, Payload, Options); the message layer fills in
+// type, token, and IDs. Returning nil suppresses the response.
+type HandlerFunc func(from string, req *Message) *Message
+
+// maxObserversPerResource bounds observer state on constrained nodes.
+const maxObserversPerResource = 64
+
+// conNotifyEvery makes every n-th notification confirmable so dead
+// observers are eventually detected and dropped.
+const conNotifyEvery = 8
+
+type observer struct {
+	addr    string
+	token   []byte
+	lastMID uint16
+	fails   int
+}
+
+// Resource is one node in the server's resource tree.
+type Resource struct {
+	path       string
+	rt         string // resource type for /.well-known/core
+	observable bool
+	handlers   map[Code]HandlerFunc
+
+	mu        sync.Mutex
+	observers map[string]*observer
+	obsSeq    uint32
+	server    *Server
+}
+
+// Server is a CoAP origin server: a set of resources plus the CoRE
+// link-format discovery document (/.well-known/core, RFC 6690), which is
+// what the registry layer uses for device discovery.
+type Server struct {
+	conn *Conn
+
+	mu        sync.Mutex
+	resources map[string]*Resource
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{resources: make(map[string]*Resource)}
+}
+
+// Resource registers (or returns) the resource at path.
+func (s *Server) Resource(path string) *Resource {
+	path = strings.Trim(path, "/")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.resources[path]
+	if !ok {
+		r = &Resource{
+			path:      path,
+			handlers:  make(map[Code]HandlerFunc),
+			observers: make(map[string]*observer),
+			server:    s,
+		}
+		s.resources[path] = r
+	}
+	return r
+}
+
+// Paths returns all registered resource paths, sorted.
+func (s *Server) Paths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.resources))
+	for p := range s.resources {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get installs the GET handler. It returns r for chaining.
+func (r *Resource) Get(fn HandlerFunc) *Resource { r.handlers[CodeGET] = fn; return r }
+
+// Put installs the PUT handler.
+func (r *Resource) Put(fn HandlerFunc) *Resource { r.handlers[CodePUT] = fn; return r }
+
+// Post installs the POST handler.
+func (r *Resource) Post(fn HandlerFunc) *Resource { r.handlers[CodePOST] = fn; return r }
+
+// Delete installs the DELETE handler.
+func (r *Resource) Delete(fn HandlerFunc) *Resource { r.handlers[CodeDELETE] = fn; return r }
+
+// Observable marks the resource as observable (RFC 7641).
+func (r *Resource) Observable() *Resource { r.observable = true; return r }
+
+// ResourceType sets the rt= attribute advertised in /.well-known/core.
+func (r *Resource) ResourceType(rt string) *Resource { r.rt = rt; return r }
+
+// ObserverCount returns the number of registered observers.
+func (r *Resource) ObserverCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.observers)
+}
+
+// Notify pushes a new representation to every observer.
+func (r *Resource) Notify(contentFormat uint32, payload []byte) {
+	srv := r.server
+	if srv == nil || srv.conn == nil {
+		return
+	}
+	c := srv.conn
+	r.mu.Lock()
+	r.obsSeq++
+	seq := r.obsSeq
+	obs := make([]*observer, 0, len(r.observers))
+	for _, o := range r.observers {
+		obs = append(obs, o)
+	}
+	r.mu.Unlock()
+	sort.Slice(obs, func(i, j int) bool { return obs[i].addr < obs[j].addr })
+
+	for _, o := range obs {
+		m := &Message{Code: CodeContent, Token: o.token, Payload: payload}
+		m.AddUintOption(OptObserve, seq)
+		m.AddUintOption(OptContentFormat, contentFormat)
+		c.mu.Lock()
+		m.MessageID = c.newMID()
+		c.mu.Unlock()
+		o.lastMID = m.MessageID
+		if seq%conNotifyEvery == 0 {
+			m.Type = Confirmable
+			addr, token := o.addr, o.token
+			c.send(addr, m, func(error) {
+				// Unreachable observer: drop the registration.
+				r.removeObserver(addr, token)
+			})
+		} else {
+			m.Type = NonConfirmable
+			data, err := m.Marshal()
+			if err == nil {
+				_ = c.tr.Send(o.addr, data)
+			}
+		}
+	}
+}
+
+func (r *Resource) addObserver(addr string, token []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := tokenKey(addr, token)
+	if _, ok := r.observers[k]; !ok && len(r.observers) >= maxObserversPerResource {
+		return ErrTooManyObservers
+	}
+	r.observers[k] = &observer{addr: addr, token: append([]byte(nil), token...)}
+	return nil
+}
+
+func (r *Resource) removeObserver(addr string, token []byte) {
+	r.mu.Lock()
+	delete(r.observers, tokenKey(addr, token))
+	r.mu.Unlock()
+}
+
+// removeObserverByMID drops whatever observer last received the
+// notification with the given MID (RST handling).
+func (s *Server) removeObserverByMID(addr string, mid uint16) {
+	s.mu.Lock()
+	resources := make([]*Resource, 0, len(s.resources))
+	for _, r := range s.resources {
+		resources = append(resources, r)
+	}
+	s.mu.Unlock()
+	for _, r := range resources {
+		r.mu.Lock()
+		for k, o := range r.observers {
+			if o.addr == addr && o.lastMID == mid {
+				delete(r.observers, k)
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// linkFormat renders the CoRE link-format discovery document.
+func (s *Server) linkFormat() []byte {
+	var sb strings.Builder
+	for i, p := range s.Paths() {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "</%s>", p)
+		s.mu.Lock()
+		r := s.resources[p]
+		s.mu.Unlock()
+		if r.rt != "" {
+			fmt.Fprintf(&sb, ";rt=%q", r.rt)
+		}
+		if r.observable {
+			sb.WriteString(";obs")
+		}
+	}
+	return []byte(sb.String())
+}
+
+// handle dispatches one request and returns the response (nil = silent).
+func (s *Server) handle(from string, req *Message) *Message {
+	path := req.Path()
+	if path == ".well-known/core" && req.Code == CodeGET {
+		resp := &Message{Code: CodeContent, Payload: s.linkFormat()}
+		resp.AddUintOption(OptContentFormat, FormatLinkFormat)
+		return resp
+	}
+	s.mu.Lock()
+	r, ok := s.resources[path]
+	s.mu.Unlock()
+	if !ok {
+		return &Message{Code: CodeNotFound}
+	}
+	fn, ok := r.handlers[req.Code]
+	if !ok {
+		return &Message{Code: CodeMethodNotAllowed}
+	}
+
+	// Observe registration / deregistration (RFC 7641).
+	if req.Code == CodeGET && r.observable {
+		if opt, has := req.Option(OptObserve); has {
+			switch opt.Uint() {
+			case 0:
+				if err := r.addObserver(from, req.Token); err != nil {
+					return &Message{Code: CodeServiceUnavailable}
+				}
+			case 1:
+				r.removeObserver(from, req.Token)
+			}
+		}
+	}
+
+	resp := fn(from, req)
+	if resp == nil {
+		return nil
+	}
+	if req.Code == CodeGET && r.observable {
+		if opt, has := req.Option(OptObserve); has && opt.Uint() == 0 && resp.Code.IsSuccess() {
+			r.mu.Lock()
+			r.obsSeq++
+			seq := r.obsSeq
+			r.mu.Unlock()
+			resp.AddUintOption(OptObserve, seq)
+		}
+	}
+	s.applyBlock2(req, resp)
+	return resp
+}
+
+// applyBlock2 slices large response payloads per RFC 7959 (stateless
+// server: the handler regenerates the full representation each time and
+// the requested window is cut here).
+func (s *Server) applyBlock2(req, resp *Message) {
+	if !resp.Code.IsSuccess() || s.conn == nil {
+		return
+	}
+	size := s.conn.cfg.BlockSize
+	num := uint32(0)
+	if opt, has := req.Option(OptBlock2); has {
+		v := opt.Uint()
+		num = v >> 4
+		if reqSize := 1 << ((v & 0x7) + 4); reqSize < size {
+			size = reqSize
+		}
+	} else if len(resp.Payload) <= size {
+		return
+	}
+	szx := uint32(0)
+	for 1<<(szx+5) <= size && szx < 6 {
+		szx++
+	}
+	size = 1 << (szx + 4)
+	off := int(num) * size
+	if off > len(resp.Payload) || (off == len(resp.Payload) && num > 0) {
+		resp.Code = CodeBadRequest
+		resp.Payload = nil
+		return
+	}
+	end := off + size
+	more := uint32(0)
+	if end < len(resp.Payload) {
+		more = 0x8
+	} else {
+		end = len(resp.Payload)
+	}
+	resp.Payload = append([]byte(nil), resp.Payload[off:end]...)
+	resp.RemoveOption(OptBlock2)
+	resp.AddUintOption(OptBlock2, num<<4|more|szx)
+}
+
+// TextResponse builds a 2.05 Content response with text payload.
+func TextResponse(text string) *Message {
+	m := &Message{Code: CodeContent, Payload: []byte(text)}
+	m.AddUintOption(OptContentFormat, FormatText)
+	return m
+}
+
+// ErrorResponse builds an error response with a diagnostic payload.
+func ErrorResponse(code Code, diag string) *Message {
+	return &Message{Code: code, Payload: []byte(diag)}
+}

@@ -1,0 +1,327 @@
+// Package core is the middleware that assembles the paper's three-tier
+// architecture (Fig. 1) into a running system:
+//
+//   - sensing-and-actuation layer: emulated nodes, each with a radio,
+//     a MAC (CSMA or LPL), a link layer, an RPL router, the aggregation
+//     service, and a CoAP endpoint reachable over the mesh;
+//   - application-logic layer: a pub/sub broker plus whatever rules the
+//     application wires to it;
+//   - data-storage layer: a time-series store fed from the broker.
+//
+// A Deployment owns the whole stack and exposes the operations the
+// experiments and examples need: build, run, sample, observe, crash,
+// recover, retune.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"iiotds/internal/agg"
+	"iiotds/internal/bus"
+	"iiotds/internal/clock"
+	"iiotds/internal/coap"
+	"iiotds/internal/link"
+	"iiotds/internal/lowpan"
+	"iiotds/internal/mac"
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/registry"
+	"iiotds/internal/rpl"
+	"iiotds/internal/sim"
+	"iiotds/internal/store"
+)
+
+// MACKind selects the medium-access discipline for all nodes.
+type MACKind int
+
+// Available MAC kinds.
+const (
+	MACCSMA MACKind = iota
+	MACLPL
+	MACRIMAC
+)
+
+// Config describes a deployment.
+type Config struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Topology gives node positions; index 0 is the border router.
+	Topology radio.Topology
+	// Radio parameterizes the medium (zero value = DefaultParams).
+	Radio radio.Params
+	// MAC selects the discipline; LPL/CSMA/RIMAC tune it.
+	MAC   MACKind
+	LPL   mac.LPLConfig
+	CSMA  mac.CSMAConfig
+	RIMAC mac.RIMACConfig
+	// Router tunes RPL. Reasonable fast-converging defaults are applied
+	// when zero.
+	Router rpl.Config
+	// Tenant tags all frames (§IV-C); Channel tunes all radios.
+	Tenant  string
+	Channel uint8
+	// RNFD, when non-nil, attaches the root-failure detector to every
+	// non-root node.
+	RNFD *rpl.RNFDConfig
+	// WithCoAP attaches a CoAP endpoint (server+client) to every node.
+	WithCoAP bool
+	// WithBackend creates the broker and time-series store tiers.
+	WithBackend bool
+}
+
+// Node is one emulated field device with its full protocol stack.
+type Node struct {
+	ID     radio.NodeID
+	MAC    mac.MAC
+	Link   *link.Link
+	Router *rpl.Router
+	Agg    *agg.Node
+	RNFD   *rpl.RNFD
+
+	// CoAP endpoint over the mesh (nil unless Config.WithCoAP).
+	CoAP   *coap.Conn
+	Server *coap.Server
+
+	sampler agg.Sampler
+	up      bool
+	d       *Deployment
+}
+
+// Addr returns the node's CoAP address on the mesh transport.
+func (n *Node) Addr() string { return strconv.Itoa(int(n.ID)) }
+
+// Up reports whether the node is running.
+func (n *Node) Up() bool { return n.up }
+
+// SetSampler installs the function that produces this node's local
+// sensor readings for aggregation queries.
+func (n *Node) SetSampler(s agg.Sampler) { n.sampler = s }
+
+// Deployment is a full three-tier system under emulation.
+type Deployment struct {
+	K     *sim.Kernel
+	M     *radio.Medium
+	Reg   *metrics.Registry
+	Nodes []*Node
+	cfg   Config
+
+	// Application and storage tiers (nil unless Config.WithBackend).
+	Bus      *bus.Broker
+	TSDB     *store.TSDB
+	Registry *registry.Registry
+}
+
+// NewDeployment builds and starts the full stack.
+func NewDeployment(cfg Config) *Deployment {
+	if len(cfg.Topology) == 0 {
+		panic("core: empty topology")
+	}
+	if cfg.Radio.BitRate == 0 {
+		cfg.Radio = radio.DefaultParams()
+	}
+	if cfg.Router.Trickle.Imin == 0 {
+		cfg.Router.Trickle = rpl.TrickleConfig{Imin: 500 * time.Millisecond, Doublings: 5, K: 3}
+	}
+	if cfg.Router.DAOInterval == 0 {
+		cfg.Router.DAOInterval = 15 * time.Second
+	}
+	if cfg.Router.ParentProbeInterval == 0 {
+		cfg.Router.ParentProbeInterval = 10 * time.Second
+	}
+
+	k := sim.New(cfg.Seed)
+	reg := metrics.NewRegistry()
+	m := radio.NewMedium(k, cfg.Radio, reg)
+	d := &Deployment{K: k, M: m, Reg: reg, cfg: cfg}
+	if cfg.WithBackend {
+		d.Bus = bus.NewBroker()
+		d.TSDB = store.NewTSDB(4096)
+		d.Registry = registry.New()
+	}
+
+	for i := range cfg.Topology {
+		id := radio.NodeID(i)
+		n := &Node{ID: id, d: d, up: true}
+		d.Nodes = append(d.Nodes, n)
+		m.Attach(id, cfg.Topology[i], radio.ReceiverFunc(func(f radio.Frame) {
+			n.MAC.(radio.Receiver).RadioReceive(f)
+		}))
+		switch cfg.MAC {
+		case MACLPL:
+			lcfg := cfg.LPL
+			lcfg.Channel = cfg.Channel
+			lcfg.Tenant = cfg.Tenant
+			n.MAC = mac.NewLPL(m, id, lcfg)
+		case MACRIMAC:
+			rcfg := cfg.RIMAC
+			rcfg.Channel = cfg.Channel
+			rcfg.Tenant = cfg.Tenant
+			n.MAC = mac.NewRIMAC(m, id, rcfg)
+		default:
+			ccfg := cfg.CSMA
+			ccfg.Channel = cfg.Channel
+			ccfg.Tenant = cfg.Tenant
+			n.MAC = mac.NewCSMA(m, id, ccfg)
+		}
+		n.Link = link.New(id, n.MAC)
+		n.Router = rpl.NewRouter(k, n.Link, i == 0, 0, cfg.Router, reg)
+		idx := i
+		n.Agg = agg.NewNode(k, n.Router, n.Link, func(attr string) (float64, bool) {
+			if d.Nodes[idx].sampler == nil {
+				return 0, false
+			}
+			return d.Nodes[idx].sampler(attr)
+		})
+		if cfg.WithCoAP {
+			tr := &meshTransport{node: n}
+			n.Router.Handle(lowpan.ProtoCoAP, func(src radio.NodeID, payload []byte) {
+				tr.deliver(strconv.Itoa(int(src)), payload)
+			})
+			n.CoAP = coap.NewConn(tr, clock.Kernel{K: k}, coap.ConnConfig{
+				Seed: cfg.Seed + int64(i) + 1,
+				// The mesh is slow (multi-hop, duty-cycled): give the
+				// message layer room before retransmitting.
+				AckTimeout: 4 * time.Second,
+			})
+			n.Server = coap.NewServer()
+			n.CoAP.Serve(n.Server)
+		}
+		n.MAC.Start()
+		n.Router.Start()
+		if cfg.RNFD != nil && i != 0 {
+			n.RNFD = n.Router.AttachRNFD(*cfg.RNFD)
+		}
+	}
+	return d
+}
+
+// Root returns the border-router node.
+func (d *Deployment) Root() *Node { return d.Nodes[0] }
+
+// Crash stops a node's whole stack (fault.Target).
+func (d *Deployment) Crash(id radio.NodeID) {
+	n := d.Nodes[int(id)]
+	if !n.up {
+		return
+	}
+	n.up = false
+	n.Router.Stop()
+	if n.RNFD != nil {
+		n.RNFD.Stop()
+	}
+	n.MAC.Stop()
+	d.M.SetDown(id, true)
+}
+
+// Recover restarts a crashed node with empty volatile state
+// (fault.Target).
+func (d *Deployment) Recover(id radio.NodeID) {
+	n := d.Nodes[int(id)]
+	if n.up {
+		return
+	}
+	n.up = true
+	d.M.SetDown(id, false)
+	n.MAC.Start()
+	n.Router.Restart()
+	if d.cfg.RNFD != nil && id != 0 {
+		n.RNFD = n.Router.AttachRNFD(*d.cfg.RNFD)
+	}
+}
+
+// RetuneTenant implements spectrum.Retuner for single-tenant deployments:
+// every node moves to ch.
+func (d *Deployment) RetuneTenant(tenant string, ch uint8) {
+	if tenant != d.cfg.Tenant {
+		return
+	}
+	for _, n := range d.Nodes {
+		n.MAC.Retune(ch)
+	}
+}
+
+// Converged reports whether every running node has joined the DODAG.
+func (d *Deployment) Converged() bool {
+	for _, n := range d.Nodes {
+		if !n.up {
+			continue
+		}
+		if n.Router.Partitioned() {
+			return false
+		}
+		if joined, _ := n.Router.Joined(); !joined {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilConverged advances virtual time until the DODAG is complete or
+// maxSim elapses; it reports success and the convergence time.
+func (d *Deployment) RunUntilConverged(maxSim time.Duration) (bool, time.Duration) {
+	start := d.K.Now()
+	deadline := start + maxSim
+	for d.K.Now() < deadline {
+		if d.Converged() {
+			return true, d.K.Now() - start
+		}
+		d.K.RunFor(time.Second)
+	}
+	return d.Converged(), d.K.Now() - start
+}
+
+// PublishObservation routes a canonical observation into the backend
+// tiers: broker topic obs/<device>/<cap> and the time-series store.
+func (d *Deployment) PublishObservation(o registry.Observation) error {
+	if d.Bus == nil {
+		return fmt.Errorf("core: deployment has no backend")
+	}
+	payload := []byte(fmt.Sprintf("%g", o.Value))
+	if err := d.Bus.Publish(o.Topic(), payload, true); err != nil {
+		return err
+	}
+	d.TSDB.Series(o.Topic()).Append(store.Point{T: o.At, V: o.Value})
+	return nil
+}
+
+// Close releases backend resources.
+func (d *Deployment) Close() {
+	if d.Bus != nil {
+		d.Bus.Close()
+	}
+}
+
+// meshTransport adapts the RPL data plane to coap.Transport. Addresses
+// are decimal node IDs.
+type meshTransport struct {
+	node *Node
+	recv func(from string, data []byte)
+}
+
+// Send implements coap.Transport.
+func (t *meshTransport) Send(addr string, data []byte) error {
+	dst, err := strconv.Atoi(addr)
+	if err != nil {
+		return fmt.Errorf("core: bad mesh address %q: %w", addr, err)
+	}
+	return t.node.Router.SendTo(radio.NodeID(dst), lowpan.ProtoCoAP, data)
+}
+
+// SetReceiver implements coap.Transport.
+func (t *meshTransport) SetReceiver(fn func(from string, data []byte)) { t.recv = fn }
+
+func (t *meshTransport) deliver(from string, data []byte) {
+	if t.recv != nil {
+		t.recv(from, data)
+	}
+}
+
+// LocalAddr implements coap.Transport.
+func (t *meshTransport) LocalAddr() string { return t.node.Addr() }
+
+// Close implements coap.Transport.
+func (t *meshTransport) Close() error { return nil }
+
+var _ coap.Transport = (*meshTransport)(nil)

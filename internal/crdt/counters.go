@@ -1,0 +1,125 @@
+package crdt
+
+import "encoding/json"
+
+// GCounter is a grow-only counter: each replica increments its own
+// component; the value is the sum and Merge is pointwise max.
+type GCounter struct {
+	Counts map[ReplicaID]uint64 `json:"counts"`
+}
+
+// NewGCounter returns a zero counter.
+func NewGCounter() *GCounter {
+	return &GCounter{Counts: make(map[ReplicaID]uint64)}
+}
+
+// Inc adds d (must be non-negative deltas expressed as uint) to id's
+// component.
+func (g *GCounter) Inc(id ReplicaID, d uint64) {
+	if d == 0 {
+		return // avoid zero-valued entries, which Merge never carries
+	}
+	if g.Counts == nil {
+		g.Counts = make(map[ReplicaID]uint64)
+	}
+	g.Counts[id] += d
+}
+
+// Value returns the counter total.
+func (g *GCounter) Value() uint64 {
+	var sum uint64
+	for _, n := range g.Counts {
+		sum += n
+	}
+	return sum
+}
+
+// Merge folds other into g (pointwise max).
+func (g *GCounter) Merge(other *GCounter) {
+	if g.Counts == nil {
+		g.Counts = make(map[ReplicaID]uint64)
+	}
+	for k, n := range other.Counts {
+		if n > g.Counts[k] {
+			g.Counts[k] = n
+		}
+	}
+}
+
+// Copy returns an independent copy.
+func (g *GCounter) Copy() *GCounter {
+	out := NewGCounter()
+	out.Merge(g)
+	return out
+}
+
+// Marshal serializes the counter state.
+func (g *GCounter) Marshal() ([]byte, error) { return json.Marshal(g) }
+
+// UnmarshalGCounter parses a serialized GCounter.
+func UnmarshalGCounter(data []byte) (*GCounter, error) {
+	g := NewGCounter()
+	if err := json.Unmarshal(data, g); err != nil {
+		return nil, err
+	}
+	if g.Counts == nil {
+		g.Counts = make(map[ReplicaID]uint64)
+	}
+	return g, nil
+}
+
+// PNCounter supports increments and decrements as two GCounters.
+type PNCounter struct {
+	Pos *GCounter `json:"pos"`
+	Neg *GCounter `json:"neg"`
+}
+
+// NewPNCounter returns a zero counter.
+func NewPNCounter() *PNCounter {
+	return &PNCounter{Pos: NewGCounter(), Neg: NewGCounter()}
+}
+
+// Add applies a positive or negative delta on behalf of id.
+func (p *PNCounter) Add(id ReplicaID, d int64) {
+	if d >= 0 {
+		p.Pos.Inc(id, uint64(d))
+	} else {
+		p.Neg.Inc(id, uint64(-d))
+	}
+}
+
+// Value returns the net count.
+func (p *PNCounter) Value() int64 {
+	return int64(p.Pos.Value()) - int64(p.Neg.Value())
+}
+
+// Merge folds other into p.
+func (p *PNCounter) Merge(other *PNCounter) {
+	p.Pos.Merge(other.Pos)
+	p.Neg.Merge(other.Neg)
+}
+
+// Copy returns an independent copy.
+func (p *PNCounter) Copy() *PNCounter {
+	out := NewPNCounter()
+	out.Merge(p)
+	return out
+}
+
+// Marshal serializes the counter state.
+func (p *PNCounter) Marshal() ([]byte, error) { return json.Marshal(p) }
+
+// UnmarshalPNCounter parses a serialized PNCounter.
+func UnmarshalPNCounter(data []byte) (*PNCounter, error) {
+	p := NewPNCounter()
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, err
+	}
+	if p.Pos == nil {
+		p.Pos = NewGCounter()
+	}
+	if p.Neg == nil {
+		p.Neg = NewGCounter()
+	}
+	return p, nil
+}

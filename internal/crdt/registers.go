@@ -1,0 +1,157 @@
+package crdt
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// LWWRegister is a last-writer-wins register. Timestamps are supplied by
+// the caller (virtual time in the emulation); replica ID breaks ties so
+// merge stays deterministic and commutative.
+type LWWRegister struct {
+	Val []byte    `json:"val"`
+	TS  int64     `json:"ts"`
+	ID  ReplicaID `json:"id"`
+}
+
+// NewLWWRegister returns an empty register.
+func NewLWWRegister() *LWWRegister { return &LWWRegister{} }
+
+// Set records a write at time ts by replica id.
+func (l *LWWRegister) Set(ts int64, id ReplicaID, val []byte) {
+	w := LWWRegister{Val: val, TS: ts, ID: id}
+	if w.wins(l) {
+		*l = w
+	}
+}
+
+// wins reports whether w supersedes cur.
+func (w *LWWRegister) wins(cur *LWWRegister) bool {
+	if w.TS != cur.TS {
+		return w.TS > cur.TS
+	}
+	if w.ID != cur.ID {
+		return w.ID > cur.ID
+	}
+	return bytes.Compare(w.Val, cur.Val) > 0
+}
+
+// Value returns the current value.
+func (l *LWWRegister) Value() []byte { return l.Val }
+
+// Merge folds other into l.
+func (l *LWWRegister) Merge(other *LWWRegister) {
+	if other.wins(l) {
+		*l = LWWRegister{Val: append([]byte(nil), other.Val...), TS: other.TS, ID: other.ID}
+	}
+}
+
+// Copy returns an independent copy.
+func (l *LWWRegister) Copy() *LWWRegister {
+	return &LWWRegister{Val: append([]byte(nil), l.Val...), TS: l.TS, ID: l.ID}
+}
+
+// Marshal serializes the register.
+func (l *LWWRegister) Marshal() ([]byte, error) { return json.Marshal(l) }
+
+// UnmarshalLWWRegister parses a serialized LWWRegister.
+func UnmarshalLWWRegister(data []byte) (*LWWRegister, error) {
+	l := NewLWWRegister()
+	if err := json.Unmarshal(data, l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// MVVersion is one concurrent version held by an MVRegister.
+type MVVersion struct {
+	Val   []byte `json:"val"`
+	Clock VClock `json:"clock"`
+}
+
+// MVRegister is a multi-value register: concurrent writes are all kept
+// (as siblings) until a later write dominates them — the "decentralized
+// resolution of potentially conflicting updates" of paper ref [24].
+type MVRegister struct {
+	Versions []MVVersion `json:"versions"`
+}
+
+// NewMVRegister returns an empty register.
+func NewMVRegister() *MVRegister { return &MVRegister{} }
+
+// Set writes val at replica id, superseding all currently visible
+// versions.
+func (m *MVRegister) Set(id ReplicaID, val []byte) {
+	clock := NewVClock()
+	for _, v := range m.Versions {
+		clock.Merge(v.Clock)
+	}
+	clock.Tick(id)
+	m.Versions = []MVVersion{{Val: append([]byte(nil), val...), Clock: clock}}
+}
+
+// Values returns the current concurrent values, sorted for determinism.
+func (m *MVRegister) Values() [][]byte {
+	out := make([][]byte, 0, len(m.Versions))
+	for _, v := range m.Versions {
+		out = append(out, v.Val)
+	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Merge folds other into m, keeping only causally maximal versions.
+func (m *MVRegister) Merge(other *MVRegister) {
+	all := make([]MVVersion, 0, len(m.Versions)+len(other.Versions))
+	all = append(all, m.Versions...)
+	for _, v := range other.Versions {
+		all = append(all, MVVersion{Val: append([]byte(nil), v.Val...), Clock: v.Clock.Copy()})
+	}
+	var keep []MVVersion
+	for i, v := range all {
+		dominated := false
+		for j, w := range all {
+			if i == j {
+				continue
+			}
+			switch v.Clock.Compare(w.Clock) {
+			case Before:
+				dominated = true
+			case Equal:
+				// Keep only the first of identical versions.
+				if j < i {
+					dominated = true
+				}
+			}
+			if dominated {
+				break
+			}
+		}
+		if !dominated {
+			keep = append(keep, v)
+		}
+	}
+	// Deduplicate identical (clock,value) pairs for determinism.
+	sort.Slice(keep, func(i, j int) bool { return bytes.Compare(keep[i].Val, keep[j].Val) < 0 })
+	m.Versions = keep
+}
+
+// Copy returns an independent copy.
+func (m *MVRegister) Copy() *MVRegister {
+	out := NewMVRegister()
+	out.Merge(m)
+	return out
+}
+
+// Marshal serializes the register.
+func (m *MVRegister) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalMVRegister parses a serialized MVRegister.
+func UnmarshalMVRegister(data []byte) (*MVRegister, error) {
+	m := NewMVRegister()
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

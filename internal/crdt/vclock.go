@@ -1,0 +1,114 @@
+// Package crdt implements state-based conflict-free replicated data
+// types (paper ref [25]): vector clocks, G- and PN-counters, LWW and
+// multi-value registers, and an observed-remove set. These are the
+// building blocks §IV-B and §V-C point to for geographic scalability and
+// partition-tolerant availability: replicas accept updates locally and
+// merge states pairwise, converging without coordination.
+//
+// All types are state-based (CvRDTs): Merge is commutative, associative,
+// and idempotent — properties the test suite checks mechanically with
+// testing/quick.
+package crdt
+
+import "sort"
+
+// ReplicaID names a replica.
+type ReplicaID string
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// Possible orderings.
+const (
+	Equal Ordering = iota
+	Before
+	After
+	Concurrent
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	default:
+		return "concurrent"
+	}
+}
+
+// VClock is a vector clock.
+type VClock map[ReplicaID]uint64
+
+// NewVClock returns an empty clock.
+func NewVClock() VClock { return make(VClock) }
+
+// Tick increments the component of id and returns the clock.
+func (v VClock) Tick(id ReplicaID) VClock {
+	v[id]++
+	return v
+}
+
+// Copy returns an independent copy.
+func (v VClock) Copy() VClock {
+	out := make(VClock, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Merge folds other into v (pointwise max).
+func (v VClock) Merge(other VClock) {
+	for k, n := range other {
+		if n > v[k] {
+			v[k] = n
+		}
+	}
+}
+
+// Compare returns the causal relationship of v to other.
+func (v VClock) Compare(other VClock) Ordering {
+	var less, greater bool
+	for k, n := range v {
+		if o := other[k]; n < o {
+			less = true
+		} else if n > o {
+			greater = true
+		}
+	}
+	for k, o := range other {
+		if _, ok := v[k]; !ok && o > 0 {
+			less = true
+		}
+	}
+	switch {
+	case less && greater:
+		return Concurrent
+	case less:
+		return Before
+	case greater:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Dominates reports whether v >= other pointwise.
+func (v VClock) Dominates(other VClock) bool {
+	c := v.Compare(other)
+	return c == After || c == Equal
+}
+
+// IDs returns the replica IDs present, sorted.
+func (v VClock) IDs() []ReplicaID {
+	out := make([]ReplicaID, 0, len(v))
+	for k := range v {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

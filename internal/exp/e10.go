@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"iiotds/internal/core"
+	"iiotds/internal/radio"
+	"iiotds/internal/rpl"
+)
+
+// e10Run is one self-healing measurement.
+type e10Run struct {
+	variant     string
+	reconverged bool
+	reconvTime  time.Duration
+	controlMsgs float64 // routing control messages per node-minute, steady state
+	switches    float64
+}
+
+// runE10 converges an n-node grid, measures steady-state control
+// overhead, kills `kills` non-root nodes at once, and measures the time
+// until every survivor is joined again.
+func runE10(n int, seed int64, trickle rpl.TrickleConfig, kills []int, observe time.Duration) e10Run {
+	cfg := core.Config{Seed: seed, Topology: radio.GridTopology(n, 15)}
+	cfg.Router.Trickle = trickle
+	d := core.NewDeployment(cfg)
+	d.RunUntilConverged(3 * time.Minute)
+
+	// Steady-state beaconing cost over 2 minutes. Probes and DAOs run
+	// at fixed rates in both variants; the DIO rate is what adaptive
+	// (trickle) vs fixed beaconing changes.
+	ctrl := func() float64 { return d.Reg.Counter("rpl.dio_sent").Value() }
+	before := ctrl()
+	d.K.RunFor(2 * time.Minute)
+	steady := (ctrl() - before) / float64(n) / 2 // DIOs per node-minute
+
+	switchesBefore := d.Reg.Counter("rpl.parent_switches").Value()
+	for _, v := range kills {
+		d.Crash(radio.NodeID(v))
+	}
+	killAt := d.K.Now()
+
+	out := e10Run{controlMsgs: steady}
+	deadline := killAt + observe
+	for d.K.Now() < deadline {
+		healthy := true
+		for i, node := range d.Nodes {
+			if i == 0 || !node.Up() {
+				continue
+			}
+			// Repaired means: attached, and not through a dead parent
+			// (right after the kill survivors still point at corpses).
+			p := node.Router.Parent()
+			if node.Router.Partitioned() || p == rpl.NoParent || !d.Nodes[int(p)].Up() {
+				healthy = false
+				break
+			}
+		}
+		if healthy {
+			out.reconverged = true
+			out.reconvTime = d.K.Now() - killAt
+			break
+		}
+		d.K.RunFor(time.Second)
+	}
+	out.switches = d.Reg.Counter("rpl.parent_switches").Value() - switchesBefore
+	return out
+}
+
+// E10SelfHealing tests §V-D: the routing layer is self-organizing — it
+// heals around simultaneous node failures without operator action — and
+// trickle's adaptive beaconing keeps the steady-state maintenance cost
+// low compared to fixed-rate beaconing at the same reactivity.
+func E10SelfHealing(s Scale) *Table {
+	n := 25
+	observe := 4 * time.Minute
+	kills := []int{6, 12} // interior forwarders
+	if s == Full {
+		n = 64
+		observe = 6 * time.Minute
+		kills = []int{9, 18, 27, 36}
+	}
+
+	adaptive := rpl.TrickleConfig{Imin: 500 * time.Millisecond, Doublings: 6, K: 3}
+	// Fixed-rate beaconing at the adaptive scheme's reactive rate:
+	// Imin 500 ms, one doubling (Imax 1 s), no suppression.
+	fixed := rpl.TrickleConfig{Imin: 500 * time.Millisecond, Doublings: 1, K: 1 << 30}
+
+	t := &Table{
+		ID:      "E10",
+		Title:   "Self-healing after node failures; maintenance cost of beaconing",
+		Claim:   "§V-D: networking protocols at this layer are largely self-organized; adaptive beaconing keeps that affordable",
+		Columns: []string{"beaconing", "killed", "reconverged", "repair time", "DIOs/node/min", "parent switches"},
+	}
+
+	var rows []e10Run
+	for _, variant := range []struct {
+		name string
+		cfg  rpl.TrickleConfig
+	}{{"trickle (adaptive)", adaptive}, {"fixed-rate", fixed}} {
+		r := runE10(n, 1001, variant.cfg, kills, observe)
+		r.variant = variant.name
+		rows = append(rows, r)
+		repair := "never"
+		if r.reconverged {
+			repair = fmt.Sprintf("%.0f s", r.reconvTime.Seconds())
+		}
+		t.AddRow(variant.name, di(len(kills)), fmt.Sprintf("%v", r.reconverged), repair,
+			f2(r.controlMsgs), f1(r.switches))
+	}
+
+	t.Finding = fmt.Sprintf(
+		"the network healed %d simultaneous failures in %.0f s unattended; trickle beacons %.1f DIOs/node/min in steady state vs %.1f for fixed-rate beaconing (%.0fx less)",
+		len(kills), rows[0].reconvTime.Seconds(), rows[0].controlMsgs, rows[1].controlMsgs,
+		rows[1].controlMsgs/maxf(rows[0].controlMsgs, 0.01))
+	return t
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"iiotds/internal/agg"
+	"iiotds/internal/core"
+	"iiotds/internal/lowpan"
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+)
+
+// collectStats summarizes one collection run.
+type collectStats struct {
+	n            int
+	converged    bool
+	coverage     float64       // fraction of node readings represented at the root per epoch
+	ring1TxTime  time.Duration // transmit airtime burned by the root's radio neighbors
+	meanEnergyJ  float64
+	maxEnergyJ   float64
+	rootMsgs     int // datagrams the root had to receive per run
+	netDatagrams float64
+}
+
+// runCollection builds an n-node grid and collects one reading per node
+// per epoch for dur, either as raw per-node pushes or through in-network
+// aggregation. It returns per-run statistics.
+func runCollection(n int, seed int64, useAgg bool, epoch, dur time.Duration) collectStats {
+	d := core.NewDeployment(core.Config{
+		Seed:     seed,
+		Topology: radio.GridTopology(n, 15),
+	})
+	st := collectStats{n: n}
+	ok, _ := d.RunUntilConverged(3 * time.Minute)
+	st.converged = ok
+
+	for i := 1; i < n; i++ {
+		i := i
+		d.Nodes[i].SetSampler(func(attr string) (float64, bool) { return 20 + float64(i%10), true })
+	}
+
+	epochs := 0
+	received := 0
+	var represented float64
+	if useAgg {
+		d.Root().Agg.OnResult = func(r agg.Result) {
+			epochs++
+			represented += float64(r.Count)
+		}
+		d.Root().Agg.RunQuery(agg.Query{ID: 1, Fn: agg.Avg, Attr: "temp", Epoch: epoch, MaxDepth: 12})
+	} else {
+		d.Root().Router.Handle(lowpan.ProtoRaw, func(src radio.NodeID, payload []byte) {
+			received++
+		})
+		for i := 1; i < n; i++ {
+			i := i
+			d.K.Every(epoch, epoch/4, func() {
+				var buf [8]byte
+				binary.BigEndian.PutUint64(buf[:], math.Float64bits(20+float64(i%10)))
+				_ = d.Nodes[i].Router.SendUp(lowpan.ProtoRaw, buf[:])
+			})
+		}
+	}
+
+	startTx := ring1TxTime(d)
+	d.K.RunFor(dur)
+
+	if useAgg {
+		if epochs > 0 {
+			st.coverage = represented / float64(epochs) / float64(n-1)
+		}
+		st.rootMsgs = epochs
+	} else {
+		st.rootMsgs = received
+		sent := float64(n-1) * (float64(dur) / float64(epoch))
+		if sent > 0 {
+			st.coverage = float64(received) / sent
+		}
+	}
+	st.ring1TxTime = ring1TxTime(d) - startTx
+	st.meanEnergyJ = d.M.Energy().MeanTotalJoules()
+	_, st.maxEnergyJ = d.M.Energy().MaxTotalJoules()
+	st.netDatagrams = d.Reg.Counter("rpl.datagrams_forwarded").Value()
+	return st
+}
+
+// ring1TxTime sums transmit airtime across the root's radio neighbors —
+// the funnel the paper says drains first (§IV-B).
+func ring1TxTime(d *core.Deployment) time.Duration {
+	var sum time.Duration
+	for _, id := range d.M.NeighborsOf(0) {
+		sum += d.M.Energy().Ledger(int(id)).Duration(metrics.StateTx)
+	}
+	return sum
+}
+
+// E2SizeScalability tests §IV-A: centralized collection (every node
+// pushes raw readings to the border router) degrades as the network
+// grows, while decentralized in-network aggregation keeps the root-side
+// load per epoch roughly flat.
+func E2SizeScalability(s Scale) *Table {
+	sizes := []int{16, 36}
+	dur := 2 * time.Minute
+	if s == Full {
+		sizes = []int{16, 36, 64, 100}
+		dur = 5 * time.Minute
+	}
+	const epoch = 10 * time.Second
+
+	t := &Table{
+		ID:      "E2",
+		Title:   "Centralized vs in-network collection as the network grows",
+		Claim:   "§IV-A: sensing-layer functionality must be decentralized; central collection degrades with N",
+		Columns: []string{"N", "mode", "root msgs", "ring-1 tx (s)", "mean energy (J)", "max energy (J)"},
+	}
+
+	type point struct {
+		n    int
+		raw  collectStats
+		aggr collectStats
+	}
+	var points []point
+	for _, n := range sizes {
+		raw := runCollection(n, 101, false, epoch, dur)
+		ag := runCollection(n, 101, true, epoch, dur)
+		points = append(points, point{n, raw, ag})
+		t.AddRow(di(n), "raw-push", di(raw.rootMsgs), f2(raw.ring1TxTime.Seconds()), f2(raw.meanEnergyJ), f2(raw.maxEnergyJ))
+		t.AddRow(di(n), "aggregate", di(ag.rootMsgs), f2(ag.ring1TxTime.Seconds()), f2(ag.meanEnergyJ), f2(ag.maxEnergyJ))
+	}
+
+	first, last := points[0], points[len(points)-1]
+	rawGrowth := last.raw.ring1TxTime.Seconds() / math.Max(first.raw.ring1TxTime.Seconds(), 1e-9)
+	aggGrowth := last.aggr.ring1TxTime.Seconds() / math.Max(first.aggr.ring1TxTime.Seconds(), 1e-9)
+	t.Finding = fmt.Sprintf(
+		"growing N %d→%d multiplies ring-1 transmit load by %.1fx under raw push but only %.1fx with in-network aggregation",
+		first.n, last.n, rawGrowth, aggGrowth)
+	return t
+}

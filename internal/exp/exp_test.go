@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every harness at Quick scale and checks
+// the tables are well-formed. Individual shape assertions follow below.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab := r.Run(Quick)
+			if tab.ID != r.ID {
+				t.Fatalf("table ID = %q, want %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("ragged row: %v", row)
+				}
+			}
+			if tab.Finding == "" {
+				t.Fatal("no finding")
+			}
+			if !strings.Contains(tab.String(), tab.ID) {
+				t.Fatal("String() missing ID")
+			}
+			if !strings.Contains(tab.Markdown(), "|") {
+				t.Fatal("Markdown() missing table")
+			}
+			t.Log("\n" + tab.String())
+		})
+	}
+}
+
+func TestTableAddRowValidatesArity(t *testing.T) {
+	tab := &Table{ID: "X", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.AddRow("only-one")
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"iiotds/internal/bus"
+	"iiotds/internal/coap"
+	"iiotds/internal/core"
+	"iiotds/internal/radio"
+	"iiotds/internal/registry"
+	"iiotds/internal/store"
+)
+
+// F1ThreeTier exercises Fig. 1 end to end as one coherent system: a
+// sensor on a mesh leaf publishes through CoAP observe; the border
+// router lifts readings into the application tier (pub/sub); a rule
+// subscribes, decides, and actuates a different leaf over CoAP; the
+// storage tier records the series. The measurement is the closed-loop
+// sense→decide→actuate latency across all three tiers.
+func F1ThreeTier(s Scale) *Table {
+	rounds := 5
+	if s == Full {
+		rounds = 20
+	}
+
+	d := core.NewDeployment(core.Config{
+		Seed:        1201,
+		Topology:    radio.GridTopology(16, 15),
+		WithCoAP:    true,
+		WithBackend: true,
+	})
+	defer d.Close()
+	d.RunUntilConverged(3 * time.Minute)
+
+	const (
+		sensorNode   = 15 // far corner
+		actuatorNode = 12
+	)
+	// Sensing tier: leaf 15 exposes an observable temperature.
+	var tempMu sync.Mutex
+	temp := 20.0
+	tempRes := d.Nodes[sensorNode].Server.Resource("sensors/temp").Observable().
+		Get(func(string, *coap.Message) *coap.Message {
+			tempMu.Lock()
+			defer tempMu.Unlock()
+			return coap.TextResponse(fmt.Sprintf("%.2f", temp))
+		})
+	// Actuation tier: leaf 12 exposes a vent actuator.
+	ventState := "closed"
+	var ventChangedAt []time.Duration
+	d.Nodes[actuatorNode].Server.Resource("actuators/vent").
+		Put(func(_ string, req *coap.Message) *coap.Message {
+			ventState = string(req.Payload)
+			ventChangedAt = append(ventChangedAt, d.K.Now())
+			return &coap.Message{Code: coap.CodeChanged}
+		})
+
+	// Border router observes the sensor and lifts readings to the bus
+	// and the time-series store.
+	d.Root().CoAP.Observe(strconv.Itoa(sensorNode), "sensors/temp", func(m *coap.Message, err error) {
+		if err != nil {
+			return
+		}
+		var v float64
+		if _, e := fmt.Sscanf(string(m.Payload), "%f", &v); e != nil {
+			return
+		}
+		_ = d.PublishObservation(registry.Observation{
+			Device: "leaf-15", Cap: "temp", Value: v, Unit: "C", At: d.K.Now(),
+		})
+	})
+
+	// Application tier: a rule opens the vent when temp exceeds 26 °C.
+	commanded := 0
+	if _, err := d.Bus.Subscribe("obs/leaf-15/temp", func(m bus.Message) {
+		var v float64
+		if _, e := fmt.Sscanf(string(m.Payload), "%f", &v); e != nil {
+			return
+		}
+		want := "closed"
+		if v > 26 {
+			want = "open"
+		}
+		if want != ventState {
+			commanded++
+			d.Root().CoAP.Put(strconv.Itoa(actuatorNode), "actuators/vent",
+				coap.FormatText, []byte(want), nil)
+		}
+	}); err != nil {
+		panic(err)
+	}
+
+	t := &Table{
+		ID:      "F1",
+		Title:   "Fig. 1 three-tier closed loop: sense → decide → actuate",
+		Claim:   "§II: the layered system behaves as a single coherent facility across sensing, logic, and storage tiers",
+		Columns: []string{"round", "stimulus", "vent reacted", "loop latency"},
+	}
+
+	okRounds := 0
+	var latSum time.Duration
+	for r := 0; r < rounds; r++ {
+		// Alternate hot and normal stimuli.
+		hot := r%2 == 0
+		tempMu.Lock()
+		if hot {
+			temp = 30
+		} else {
+			temp = 20
+		}
+		tempMu.Unlock()
+		stimulusAt := d.K.Now()
+		prevChanges := len(ventChangedAt)
+		tempRes.Notify(coap.FormatText, []byte(fmt.Sprintf("%.2f", temp)))
+		// The bus tier runs on real goroutines while the mesh runs on
+		// virtual time; interleave small virtual steps with yields so
+		// both make progress.
+		deadline := d.K.Now() + 2*time.Minute
+		for len(ventChangedAt) == prevChanges && d.K.Now() < deadline {
+			d.K.RunFor(500 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+		reacted := len(ventChangedAt) > prevChanges
+		lat := time.Duration(0)
+		if reacted {
+			lat = ventChangedAt[len(ventChangedAt)-1] - stimulusAt
+			okRounds++
+			latSum += lat
+		}
+		t.AddRow(di(r+1), fmt.Sprintf("%.0f°C", temp), fmt.Sprintf("%v", reacted),
+			fmt.Sprintf("%.2f s", lat.Seconds()))
+	}
+
+	series := d.TSDB.Series("obs/leaf-15/temp")
+	mean := time.Duration(0)
+	if okRounds > 0 {
+		mean = latSum / time.Duration(okRounds)
+	}
+	t.Finding = fmt.Sprintf(
+		"%d/%d closed loops completed across all three tiers, mean sense→actuate latency %.2f s (virtual); storage tier recorded %d samples",
+		okRounds, rounds, mean.Seconds(), series.Len())
+	_ = store.Point{}
+	return t
+}

@@ -1,0 +1,226 @@
+// Package fault provides failure injection for the emulation — crashes,
+// recoveries, network partitions, and link degradation on a schedule —
+// plus the reliability ledger that turns injected faults into the §V-A
+// metrics: MTTF, MTTR, and availability.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// Target is what the injector crashes and recovers: the deployment layer
+// implements it by stopping/starting a node's full protocol stack.
+type Target interface {
+	Crash(id radio.NodeID)
+	Recover(id radio.NodeID)
+}
+
+// Injector schedules faults on a deployment.
+type Injector struct {
+	k      *sim.Kernel
+	m      *radio.Medium
+	target Target
+	ledger *Ledger
+
+	partitioned bool
+	groups      map[radio.NodeID]int
+}
+
+// NewInjector creates an injector. target may be nil if only link faults
+// are used; ledger may be nil to skip accounting.
+func NewInjector(k *sim.Kernel, m *radio.Medium, target Target, ledger *Ledger) *Injector {
+	return &Injector{k: k, m: m, target: target, ledger: ledger}
+}
+
+// CrashAt schedules a crash of node id at absolute time t.
+func (inj *Injector) CrashAt(t time.Duration, id radio.NodeID) {
+	inj.k.At(t, func() {
+		if inj.target != nil {
+			inj.target.Crash(id)
+		}
+		inj.m.SetDown(id, true)
+		if inj.ledger != nil {
+			inj.ledger.RecordFailure(fmt.Sprintf("node-%d", id), inj.k.Now())
+		}
+	})
+}
+
+// RecoverAt schedules a recovery of node id at absolute time t.
+func (inj *Injector) RecoverAt(t time.Duration, id radio.NodeID) {
+	inj.k.At(t, func() {
+		inj.m.SetDown(id, false)
+		if inj.target != nil {
+			inj.target.Recover(id)
+		}
+		if inj.ledger != nil {
+			inj.ledger.RecordRepair(fmt.Sprintf("node-%d", id), inj.k.Now())
+		}
+	})
+}
+
+// PartitionAt splits the radio medium into groups at time t: frames only
+// pass between nodes of the same group. Nodes not listed form group 0.
+func (inj *Injector) PartitionAt(t time.Duration, groups ...[]radio.NodeID) {
+	inj.k.At(t, func() {
+		inj.groups = make(map[radio.NodeID]int)
+		for i, g := range groups {
+			for _, id := range g {
+				inj.groups[id] = i + 1
+			}
+		}
+		inj.partitioned = true
+		inj.m.SetLinkFilter(func(from, to radio.NodeID) bool {
+			return inj.groups[from] == inj.groups[to]
+		})
+	})
+}
+
+// HealAt removes the partition at time t.
+func (inj *Injector) HealAt(t time.Duration) {
+	inj.k.At(t, func() {
+		inj.partitioned = false
+		inj.m.SetLinkFilter(nil)
+	})
+}
+
+// Partitioned reports whether a partition is currently installed.
+func (inj *Injector) Partitioned() bool { return inj.partitioned }
+
+// DegradeLinkAt sets the directed link PRR at time t (both directions).
+func (inj *Injector) DegradeLinkAt(t time.Duration, a, b radio.NodeID, prr float64) {
+	inj.k.At(t, func() {
+		inj.m.SetLinkPRR(a, b, prr)
+		inj.m.SetLinkPRR(b, a, prr)
+	})
+}
+
+// RestoreLinkAt removes PRR overrides for the pair at time t.
+func (inj *Injector) RestoreLinkAt(t time.Duration, a, b radio.NodeID) {
+	inj.k.At(t, func() {
+		inj.m.SetLinkPRR(a, b, -1)
+		inj.m.SetLinkPRR(b, a, -1)
+	})
+}
+
+// --- reliability accounting ---
+
+// componentState tracks one component's failure history.
+type componentState struct {
+	up        bool
+	since     time.Duration // start of the current state
+	upTotal   time.Duration
+	downTotal time.Duration
+	failures  int
+	repairs   int
+}
+
+// Ledger computes MTTF/MTTR/availability from failure and repair events.
+type Ledger struct {
+	start      time.Duration
+	components map[string]*componentState
+}
+
+// NewLedger starts accounting at time start (components are presumed up).
+func NewLedger(start time.Duration) *Ledger {
+	return &Ledger{start: start, components: make(map[string]*componentState)}
+}
+
+func (l *Ledger) get(name string) *componentState {
+	c, ok := l.components[name]
+	if !ok {
+		c = &componentState{up: true, since: l.start}
+		l.components[name] = c
+	}
+	return c
+}
+
+// RecordFailure marks the component down at time t.
+func (l *Ledger) RecordFailure(name string, t time.Duration) {
+	c := l.get(name)
+	if !c.up {
+		return
+	}
+	c.upTotal += t - c.since
+	c.up = false
+	c.since = t
+	c.failures++
+}
+
+// RecordRepair marks the component up at time t.
+func (l *Ledger) RecordRepair(name string, t time.Duration) {
+	c := l.get(name)
+	if c.up {
+		return
+	}
+	c.downTotal += t - c.since
+	c.up = true
+	c.since = t
+	c.repairs++
+}
+
+// Stats summarizes one component as of time now.
+type Stats struct {
+	Failures     int
+	Repairs      int
+	MTTF         time.Duration // mean up time between failures
+	MTTR         time.Duration // mean down time
+	Availability float64       // up / (up + down)
+}
+
+// StatsOf returns the component's statistics as of now.
+func (l *Ledger) StatsOf(name string, now time.Duration) Stats {
+	c, ok := l.components[name]
+	if !ok {
+		return Stats{Availability: 1}
+	}
+	up, down := c.upTotal, c.downTotal
+	if c.up {
+		up += now - c.since
+	} else {
+		down += now - c.since
+	}
+	s := Stats{Failures: c.failures, Repairs: c.repairs}
+	if c.failures > 0 {
+		s.MTTF = up / time.Duration(c.failures)
+	} else {
+		s.MTTF = up
+	}
+	if c.repairs > 0 {
+		s.MTTR = down / time.Duration(c.repairs)
+	} else if c.failures > 0 && !c.up {
+		s.MTTR = down
+	}
+	if up+down > 0 {
+		s.Availability = float64(up) / float64(up+down)
+	} else {
+		s.Availability = 1
+	}
+	return s
+}
+
+// Components returns all tracked component names, sorted.
+func (l *Ledger) Components() []string {
+	out := make([]string, 0, len(l.components))
+	for n := range l.components {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SystemAvailability averages availability over all components.
+func (l *Ledger) SystemAvailability(now time.Duration) float64 {
+	if len(l.components) == 0 {
+		return 1
+	}
+	var sum float64
+	for name := range l.components {
+		sum += l.StatsOf(name, now).Availability
+	}
+	return sum / float64(len(l.components))
+}

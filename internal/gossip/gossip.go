@@ -1,0 +1,293 @@
+// Package gossip provides the anti-entropy replication engine that keeps
+// CRDT state converging across replicas: periodic push-pull state
+// exchange with randomly chosen peers (paper refs [24,25]). It is the
+// availability mechanism §V-C calls for — replicas accept updates locally
+// at all times and reconcile when connectivity allows.
+package gossip
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"iiotds/internal/clock"
+)
+
+// Messenger moves opaque gossip payloads between named peers. The
+// in-memory Network below implements it with partition injection; the
+// emulation wires it over CoAP/RPL.
+type Messenger interface {
+	// Send delivers data to peer (best effort).
+	Send(peer string, data []byte) error
+	// SetReceiver installs the inbound callback; call once.
+	SetReceiver(fn func(from string, data []byte))
+	// Self returns this node's name.
+	Self() string
+	// Peers returns the other replicas' names.
+	Peers() []string
+}
+
+// State is the replicated object the engine synchronizes: a state-based
+// CRDT snapshot/merge pair.
+type State interface {
+	// Snapshot serializes the current local state.
+	Snapshot() ([]byte, error)
+	// Merge folds a remote snapshot into local state.
+	Merge(remote []byte) error
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Interval between gossip rounds (default 1 s).
+	Interval time.Duration
+	// Fanout is how many peers are contacted per round (default 1).
+	Fanout int
+	// Seed seeds peer selection (default 1).
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// envelope is the wire format.
+type envelope struct {
+	Kind  string `json:"kind"` // "push" or "reply"
+	State []byte `json:"state"`
+}
+
+// Engine runs anti-entropy rounds for one replica.
+type Engine struct {
+	msg   Messenger
+	sched clock.Scheduler
+	state State
+	cfg   Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	stop    clock.CancelFunc
+	running bool
+
+	// RoundsRun and BytesSent instrument convergence cost (E9).
+	RoundsRun int
+	BytesSent int
+}
+
+// New creates an engine; call Start to begin rounds.
+func New(msg Messenger, sched clock.Scheduler, state State, cfg Config) *Engine {
+	cfg.applyDefaults()
+	e := &Engine{
+		msg:   msg,
+		sched: sched,
+		state: state,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	msg.SetReceiver(e.onMessage)
+	return e
+}
+
+// Start begins periodic rounds.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return
+	}
+	e.running = true
+	e.armLocked()
+}
+
+func (e *Engine) armLocked() {
+	// Jitter each round ±25% so replica schedules do not lock step.
+	d := e.cfg.Interval
+	jitter := time.Duration(e.rng.Int63n(int64(d)/2+1)) - d/4
+	e.stop = e.sched.Schedule(d+jitter, func() {
+		e.round()
+		e.mu.Lock()
+		if e.running {
+			e.armLocked()
+		}
+		e.mu.Unlock()
+	})
+}
+
+// Stop halts the engine.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.running = false
+	if e.stop != nil {
+		e.stop()
+	}
+}
+
+// round performs one push-pull exchange with Fanout random peers.
+func (e *Engine) round() {
+	peers := e.msg.Peers()
+	if len(peers) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.RoundsRun++
+	e.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	n := e.cfg.Fanout
+	if n > len(peers) {
+		n = len(peers)
+	}
+	targets := append([]string(nil), peers[:n]...)
+	e.mu.Unlock()
+
+	snap, err := e.state.Snapshot()
+	if err != nil {
+		return
+	}
+	data, err := json.Marshal(envelope{Kind: "push", State: snap})
+	if err != nil {
+		return
+	}
+	for _, p := range targets {
+		e.mu.Lock()
+		e.BytesSent += len(data)
+		e.mu.Unlock()
+		_ = e.msg.Send(p, data)
+	}
+}
+
+func (e *Engine) onMessage(from string, data []byte) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return
+	}
+	_ = e.state.Merge(env.State)
+	if env.Kind == "push" {
+		// Pull half: reply with our (merged) state.
+		snap, err := e.state.Snapshot()
+		if err != nil {
+			return
+		}
+		reply, err := json.Marshal(envelope{Kind: "reply", State: snap})
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		e.BytesSent += len(reply)
+		e.mu.Unlock()
+		_ = e.msg.Send(from, reply)
+	}
+}
+
+// --- in-memory partitionable network ---
+
+// Network is an in-memory Messenger fabric with partition injection,
+// used by tests and the CAP experiment (E9).
+type Network struct {
+	mu        sync.Mutex
+	ports     map[string]*Port
+	partition map[string]int // peer -> partition group; absent = group 0
+	// Dropped counts messages suppressed by partitions.
+	Dropped int
+}
+
+// NewNetwork returns an empty fabric.
+func NewNetwork() *Network {
+	return &Network{ports: make(map[string]*Port), partition: make(map[string]int)}
+}
+
+// Attach registers a peer.
+func (n *Network) Attach(name string) *Port {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.ports[name]; dup {
+		panic(fmt.Sprintf("gossip: peer %q attached twice", name))
+	}
+	p := &Port{net: n, name: name}
+	n.ports[name] = p
+	return p
+}
+
+// SetPartition places each listed group of peers in its own partition;
+// peers not listed go to group 0. Passing no groups heals the network.
+func (n *Network) SetPartition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+	for i, g := range groups {
+		for _, name := range g {
+			n.partition[name] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.SetPartition() }
+
+func (n *Network) send(from, to string, data []byte) error {
+	n.mu.Lock()
+	if n.partition[from] != n.partition[to] {
+		n.Dropped++
+		n.mu.Unlock()
+		return nil // silently lost, like a real partition
+	}
+	dst := n.ports[to]
+	n.mu.Unlock()
+	if dst == nil {
+		return fmt.Errorf("gossip: unknown peer %q", to)
+	}
+	dst.mu.Lock()
+	recv := dst.recv
+	dst.mu.Unlock()
+	if recv != nil {
+		recv(from, append([]byte(nil), data...))
+	}
+	return nil
+}
+
+// Port is one peer's attachment to a Network.
+type Port struct {
+	net  *Network
+	name string
+
+	mu   sync.Mutex
+	recv func(from string, data []byte)
+}
+
+// Send implements Messenger.
+func (p *Port) Send(peer string, data []byte) error { return p.net.send(p.name, peer, data) }
+
+// SetReceiver implements Messenger.
+func (p *Port) SetReceiver(fn func(from string, data []byte)) {
+	p.mu.Lock()
+	p.recv = fn
+	p.mu.Unlock()
+}
+
+// Self implements Messenger.
+func (p *Port) Self() string { return p.name }
+
+// Peers implements Messenger.
+func (p *Port) Peers() []string {
+	p.net.mu.Lock()
+	defer p.net.mu.Unlock()
+	out := make([]string, 0, len(p.net.ports)-1)
+	for name := range p.net.ports {
+		if name != p.name {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ Messenger = (*Port)(nil)

@@ -1,0 +1,301 @@
+// Package hvac is the paper's §V-B worked example: HVAC control in an
+// office building with two competing requirements — occupant comfort and
+// energy savings — where soft safety margins vary with occupancy and may
+// be deliberately violated to save energy.
+//
+// Substitution (DESIGN.md): real buildings are replaced by a first-order
+// RC thermal zone model with stochastic occupancy; this preserves the
+// comfort-vs-energy trade-off structure the section reasons about.
+package hvac
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Zone is a first-order thermal model of one conditioned space:
+// dT/dt = (outside-T)/tau + u*heatRate + noise.
+type Zone struct {
+	// TempC is the current air temperature.
+	TempC float64
+	// TimeConstant tau: how fast the zone drifts toward outside
+	// (default 4 h).
+	TimeConstant time.Duration
+	// HeatRate is the temperature slew at full actuation, °C/hour
+	// (default 5, sized so the plant can hold the setpoint against the
+	// design-day cold snap; cooling is the negative direction).
+	HeatRate float64
+	// MaxPowerW is electrical power at full actuation (default 2500 W).
+	MaxPowerW float64
+}
+
+// DefaultZone returns a typical office zone starting at startC.
+func DefaultZone(startC float64) *Zone {
+	return &Zone{
+		TempC:        startC,
+		TimeConstant: 4 * time.Hour,
+		HeatRate:     5,
+		MaxPowerW:    2500,
+	}
+}
+
+// Step advances the zone by dt under actuation u in [-1,1] (negative =
+// cooling) with the given outside temperature; it returns the energy
+// consumed in joules. noise perturbs the temperature (door openings,
+// solar gain) and comes from the caller's RNG for determinism.
+func (z *Zone) Step(dt time.Duration, u, outsideC, noise float64) (joules float64) {
+	if u > 1 {
+		u = 1
+	}
+	if u < -1 {
+		u = -1
+	}
+	h := dt.Hours()
+	leak := (outsideC - z.TempC) * (1 - math.Exp(-float64(dt)/float64(z.TimeConstant)))
+	z.TempC += leak + u*z.HeatRate*h + noise
+	return math.Abs(u) * z.MaxPowerW * dt.Seconds()
+}
+
+// Weather is a simple diurnal outside-temperature model.
+type Weather struct {
+	// MeanC and SwingC describe the sinusoid; coldest at 04:00.
+	MeanC  float64
+	SwingC float64
+}
+
+// OutsideC returns the outside temperature at time-of-day t.
+func (w Weather) OutsideC(t time.Duration) float64 {
+	dayFrac := math.Mod(t.Hours(), 24) / 24
+	return w.MeanC + w.SwingC*math.Sin(2*math.Pi*(dayFrac-4.0/24-0.25))
+}
+
+// Occupancy is a weekday office schedule with stochastic arrival and
+// departure jitter per day.
+type Occupancy struct {
+	// ArriveHour and LeaveHour bound the nominal occupied window.
+	ArriveHour, LeaveHour float64
+	// JitterHour randomizes daily arrival/departure.
+	JitterHour float64
+
+	day     int
+	arrive  float64
+	leave   float64
+	rng     *rand.Rand
+	started bool
+}
+
+// NewOccupancy returns a 9-to-17 office schedule with ±30 min jitter.
+func NewOccupancy(rng *rand.Rand) *Occupancy {
+	return &Occupancy{ArriveHour: 9, LeaveHour: 17, JitterHour: 0.5, rng: rng}
+}
+
+// Occupied reports whether the space is occupied at absolute time t.
+func (o *Occupancy) Occupied(t time.Duration) bool {
+	day := int(t.Hours() / 24)
+	if !o.started || day != o.day {
+		o.day = day
+		o.started = true
+		o.arrive = o.ArriveHour + (o.rng.Float64()*2-1)*o.JitterHour
+		o.leave = o.LeaveHour + (o.rng.Float64()*2-1)*o.JitterHour
+	}
+	hod := math.Mod(t.Hours(), 24)
+	return hod >= o.arrive && hod < o.leave
+}
+
+// NextArrival returns the next scheduled (nominal) arrival after t — what
+// a predictive controller can know from the calendar.
+func (o *Occupancy) NextArrival(t time.Duration) time.Duration {
+	day := math.Floor(t.Hours() / 24)
+	candidate := time.Duration((day*24 + o.ArriveHour) * float64(time.Hour))
+	if candidate <= t {
+		candidate = time.Duration(((day+1)*24 + o.ArriveHour) * float64(time.Hour))
+	}
+	return candidate
+}
+
+// Controller decides actuation from what a real controller could see.
+type Controller interface {
+	Name() string
+	// Control returns u in [-1,1].
+	Control(tempC float64, occupied bool, t time.Duration, occ *Occupancy) float64
+}
+
+// Setpoint is the shared comfort setpoint.
+const Setpoint = 22.0
+
+// StrictController holds a tight band around the setpoint at all times —
+// maximal comfort, maximal energy.
+type StrictController struct{}
+
+// Name implements Controller.
+func (StrictController) Name() string { return "strict" }
+
+// Control implements Controller: bang-bang with ±0.5 °C hysteresis.
+func (StrictController) Control(tempC float64, _ bool, _ time.Duration, _ *Occupancy) float64 {
+	switch {
+	case tempC < Setpoint-0.5:
+		return 1
+	case tempC > Setpoint+0.5:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// EconomicController widens the deadband and applies a fixed night
+// setback — saves energy but violates comfort around occupancy edges.
+type EconomicController struct{}
+
+// Name implements Controller.
+func (EconomicController) Name() string { return "economic" }
+
+// Control implements Controller.
+func (EconomicController) Control(tempC float64, _ bool, t time.Duration, _ *Occupancy) float64 {
+	set := Setpoint
+	hod := math.Mod(t.Hours(), 24)
+	if hod < 7 || hod >= 19 {
+		set = Setpoint - 4 // night setback
+	}
+	switch {
+	case tempC < set-1.5:
+		return 1
+	case tempC > set+1.5:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// OccupancyAwareController relaxes entirely while the space is empty and
+// pre-conditions ahead of the calendar's next arrival — the §V-B idea of
+// margins that depend on who occupies a space when.
+type OccupancyAwareController struct {
+	// Preheat is how far ahead of scheduled arrival conditioning
+	// starts (default 90 min).
+	Preheat time.Duration
+}
+
+// Name implements Controller.
+func (OccupancyAwareController) Name() string { return "occupancy" }
+
+// Control implements Controller.
+func (c OccupancyAwareController) Control(tempC float64, occupied bool, t time.Duration, occ *Occupancy) float64 {
+	preheat := c.Preheat
+	if preheat == 0 {
+		preheat = 90 * time.Minute
+	}
+	active := occupied
+	if !active && occ != nil {
+		next := occ.NextArrival(t)
+		active = next-t <= preheat
+	}
+	if !active {
+		// Unoccupied: only guard the hard physical limits.
+		switch {
+		case tempC < 12:
+			return 1
+		case tempC > 32:
+			return -1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case tempC < Setpoint-0.5:
+		return 1
+	case tempC > Setpoint+0.5:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Controllers returns the three policies compared in E8.
+func Controllers() []Controller {
+	return []Controller{
+		StrictController{},
+		EconomicController{},
+		OccupancyAwareController{},
+	}
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	Controller string
+	EnergyKWh  float64
+	// ComfortViolationMin is occupied time outside the ±1 °C comfort
+	// band, in minutes.
+	ComfortViolationMin float64
+	// SeverityDegMin integrates degrees-outside-band over occupied
+	// minutes.
+	SeverityDegMin float64
+	// MinC and MaxC are the temperature extremes reached.
+	MinC, MaxC float64
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s energy=%6.1f kWh  comfort-viol=%6.0f min  severity=%7.0f °C·min  range=[%.1f,%.1f]°C",
+		r.Controller, r.EnergyKWh, r.ComfortViolationMin, r.SeverityDegMin, r.MinC, r.MaxC)
+}
+
+// SimConfig configures a run of Simulate.
+type SimConfig struct {
+	Days    int
+	StepDur time.Duration
+	Weather Weather
+	Seed    int64
+	// NoiseC is the per-step temperature disturbance amplitude.
+	NoiseC float64
+}
+
+// DefaultSimConfig returns a one-week simulation.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Days:    7,
+		StepDur: time.Minute,
+		Weather: Weather{MeanC: 12, SwingC: 6},
+		Seed:    1,
+		NoiseC:  0.02,
+	}
+}
+
+// Simulate runs controller c over the configured horizon and returns its
+// result. The same seed gives every controller identical weather,
+// occupancy, and disturbances — a paired comparison.
+func Simulate(c Controller, cfg SimConfig) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	occ := NewOccupancy(rand.New(rand.NewSource(cfg.Seed + 1)))
+	zone := DefaultZone(18)
+	res := Result{Controller: c.Name(), MinC: zone.TempC, MaxC: zone.TempC}
+	var joules float64
+	horizon := time.Duration(cfg.Days) * 24 * time.Hour
+	for t := time.Duration(0); t < horizon; t += cfg.StepDur {
+		occupied := occ.Occupied(t)
+		u := c.Control(zone.TempC, occupied, t, occ)
+		noise := (rng.Float64()*2 - 1) * cfg.NoiseC
+		joules += zone.Step(cfg.StepDur, u, cfg.Weather.OutsideC(t), noise)
+		if zone.TempC < res.MinC {
+			res.MinC = zone.TempC
+		}
+		if zone.TempC > res.MaxC {
+			res.MaxC = zone.TempC
+		}
+		if occupied {
+			dist := 0.0
+			if zone.TempC < Setpoint-1 {
+				dist = (Setpoint - 1) - zone.TempC
+			} else if zone.TempC > Setpoint+1 {
+				dist = zone.TempC - (Setpoint + 1)
+			}
+			if dist > 0 {
+				res.ComfortViolationMin += cfg.StepDur.Minutes()
+				res.SeverityDegMin += dist * cfg.StepDur.Minutes()
+			}
+		}
+	}
+	res.EnergyKWh = joules / 3.6e6
+	return res
+}

@@ -1,0 +1,96 @@
+// Package link provides the logical link layer of the sensing-and-
+// actuation stack: protocol multiplexing over a MAC, and a neighbor table
+// with ETX (expected transmission count) estimation that the routing
+// layer's objective function consumes.
+package link
+
+import (
+	"fmt"
+
+	"iiotds/internal/mac"
+	"iiotds/internal/radio"
+)
+
+// Protocol identifies an upper-layer protocol multiplexed over one MAC.
+type Protocol byte
+
+// Well-known protocol numbers.
+const (
+	// ProtoNet carries network-layer datagrams (lowpan/rpl).
+	ProtoNet Protocol = 1
+	// ProtoRouting carries routing control traffic (DIO/DAO/RNFD).
+	ProtoRouting Protocol = 2
+	// ProtoApp carries raw single-hop application traffic.
+	ProtoApp Protocol = 3
+)
+
+// Handler receives demultiplexed payloads.
+type Handler func(from radio.NodeID, payload []byte)
+
+// Link multiplexes protocols over one MAC and observes transmission
+// outcomes to estimate per-neighbor link quality.
+type Link struct {
+	mac       mac.MAC
+	id        radio.NodeID
+	handlers  map[Protocol]Handler
+	neighbors *Table
+}
+
+// New wraps m (the MAC of node id) as a link layer. It installs itself as
+// the MAC's receive handler.
+func New(id radio.NodeID, m mac.MAC) *Link {
+	l := &Link{
+		mac:       m,
+		id:        id,
+		handlers:  make(map[Protocol]Handler),
+		neighbors: NewTable(),
+	}
+	m.OnReceive(l.onReceive)
+	return l
+}
+
+// ID returns the node this link layer belongs to.
+func (l *Link) ID() radio.NodeID { return l.id }
+
+// Neighbors returns the neighbor table.
+func (l *Link) Neighbors() *Table { return l.neighbors }
+
+// Handle registers the handler for proto. Registering twice panics: each
+// protocol has exactly one owner.
+func (l *Link) Handle(proto Protocol, h Handler) {
+	if _, dup := l.handlers[proto]; dup {
+		panic(fmt.Sprintf("link: handler for protocol %d registered twice", proto))
+	}
+	l.handlers[proto] = h
+}
+
+// Send transmits payload to neighbor to under proto. done (may be nil)
+// reports link-layer delivery; the outcome also feeds the ETX estimator.
+func (l *Link) Send(to radio.NodeID, proto Protocol, payload []byte, done func(ok bool)) {
+	buf := make([]byte, 1+len(payload))
+	buf[0] = byte(proto)
+	copy(buf[1:], payload)
+	l.mac.Send(to, buf, func(ok bool) {
+		if to != radio.Broadcast {
+			l.neighbors.RecordTx(to, ok)
+		}
+		if done != nil {
+			done(ok)
+		}
+	})
+}
+
+// Broadcast transmits payload to all neighbors under proto.
+func (l *Link) Broadcast(proto Protocol, payload []byte) {
+	l.Send(radio.Broadcast, proto, payload, nil)
+}
+
+func (l *Link) onReceive(from radio.NodeID, raw []byte) {
+	if len(raw) < 1 {
+		return
+	}
+	l.neighbors.RecordRx(from)
+	if h, ok := l.handlers[Protocol(raw[0])]; ok {
+		h(from, raw[1:])
+	}
+}

@@ -1,0 +1,112 @@
+package link
+
+import (
+	"math"
+	"sort"
+
+	"iiotds/internal/radio"
+)
+
+// etxAlpha is the EWMA weight given to a new transmission outcome.
+const etxAlpha = 0.2
+
+// priorSuccessRate seeds the estimator for untested links. Starting from
+// a mildly skeptical prior (rather than trusting the first sample) keeps
+// one lucky delivery on a marginal link from making it look perfect,
+// which would otherwise cause routing churn over gray-region links.
+const priorSuccessRate = 0.7
+
+// maxETX caps the estimate for links that currently deliver nothing, so
+// arithmetic over path costs stays finite.
+const maxETX = 16.0
+
+// Entry is the state tracked for one neighbor.
+type Entry struct {
+	ID radio.NodeID
+	// SuccessRate is an EWMA of unicast delivery outcomes in [0,1].
+	SuccessRate float64
+	// TxCount and RxCount are lifetime counters.
+	TxCount uint64
+	RxCount uint64
+}
+
+// ETX returns the expected number of transmissions for one delivery over
+// this link (1/SuccessRate), capped at maxETX.
+func (e *Entry) ETX() float64 {
+	if e.SuccessRate <= 1/maxETX {
+		return maxETX
+	}
+	return 1 / e.SuccessRate
+}
+
+// Table tracks link-quality state per neighbor. It is not safe for
+// concurrent use; the simulation is single-threaded.
+type Table struct {
+	entries map[radio.NodeID]*Entry
+}
+
+// NewTable returns an empty neighbor table.
+func NewTable() *Table {
+	return &Table{entries: make(map[radio.NodeID]*Entry)}
+}
+
+func (t *Table) get(id radio.NodeID) *Entry {
+	e, ok := t.entries[id]
+	if !ok {
+		e = &Entry{ID: id, SuccessRate: priorSuccessRate}
+		t.entries[id] = e
+	}
+	return e
+}
+
+// RecordTx folds a unicast outcome into the neighbor's estimate.
+func (t *Table) RecordTx(id radio.NodeID, ok bool) {
+	e := t.get(id)
+	e.TxCount++
+	sample := 0.0
+	if ok {
+		sample = 1.0
+	}
+	e.SuccessRate = (1-etxAlpha)*e.SuccessRate + etxAlpha*sample
+}
+
+// RecordRx notes that a frame was heard from the neighbor.
+func (t *Table) RecordRx(id radio.NodeID) {
+	t.get(id).RxCount++
+}
+
+// Lookup returns the entry for id, or nil if the neighbor is unknown.
+func (t *Table) Lookup(id radio.NodeID) *Entry {
+	return t.entries[id]
+}
+
+// ETX returns the ETX toward id; unknown neighbors cost maxETX.
+func (t *Table) ETX(id radio.NodeID) float64 {
+	e := t.entries[id]
+	if e == nil {
+		return maxETX
+	}
+	return e.ETX()
+}
+
+// Len returns the number of known neighbors.
+func (t *Table) Len() int { return len(t.entries) }
+
+// IDs returns known neighbor IDs sorted by ascending ETX (ties by ID).
+func (t *Table) IDs() []radio.NodeID {
+	ids := make([]radio.NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := t.entries[ids[i]].ETX(), t.entries[ids[j]].ETX()
+		if math.Abs(a-b) > 1e-9 {
+			return a < b
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Forget drops a neighbor (e.g., after prolonged silence).
+func (t *Table) Forget(id radio.NodeID) { delete(t.entries, id) }

@@ -1,0 +1,308 @@
+// Package lowpan is the adaptation layer between network-layer datagrams
+// and small link frames, modeled on 6LoWPAN (RFC 4944, paper ref [12]):
+// it compresses the network header and fragments datagrams that exceed
+// the link MTU, with fragment offsets in 8-byte units and lazy reassembly
+// expiry.
+//
+// Without this layer the stack could not carry CoAP messages (up to ~1 KB
+// with block transfers) over 802.15.4-class frames (~100 B of payload),
+// which is precisely the interoperability glue §III discusses.
+package lowpan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"iiotds/internal/radio"
+)
+
+// Proto identifies the upper-layer protocol inside a datagram.
+type Proto byte
+
+// Well-known datagram protocols.
+const (
+	// ProtoCoAP carries CoAP messages.
+	ProtoCoAP Proto = 1
+	// ProtoGossip carries anti-entropy synchronization.
+	ProtoGossip Proto = 2
+	// ProtoRaw carries application-defined bytes.
+	ProtoRaw Proto = 3
+)
+
+// Datagram is the network-layer unit routed end-to-end across the mesh.
+type Datagram struct {
+	Src      radio.NodeID
+	Dst      radio.NodeID
+	Proto    Proto
+	HopLimit uint8
+	Seq      uint16
+	Payload  []byte
+}
+
+// Header sizes. The uncompressed form models a full IPv6 header (40
+// bytes); the compressed form is an IPHC-like 9 bytes. The difference is
+// what header compression buys on constrained links.
+const (
+	compressedHeaderLen   = 9
+	uncompressedHeaderLen = 40
+
+	flagCompressed = 0x80
+	headerVersion  = 0x01
+)
+
+// dispatch bytes for link frames.
+const (
+	dispUnfrag byte = 0x41
+	dispFrag1  byte = 0xC0
+	dispFragN  byte = 0xE0
+)
+
+// Frag header layout after the dispatch byte:
+//
+//	FRAG1: size uint16, tag uint16
+//	FRAGN: size uint16, tag uint16, offset byte (8-byte units)
+const (
+	frag1HeaderLen = 1 + 2 + 2
+	fragNHeaderLen = 1 + 2 + 2 + 1
+)
+
+// MaxDatagramSize bounds reassembly buffers (mirrors the IPv6 minimum
+// MTU that 6LoWPAN must support).
+const MaxDatagramSize = 1280
+
+// ErrTooLarge is returned when a datagram exceeds MaxDatagramSize.
+var ErrTooLarge = errors.New("lowpan: datagram exceeds maximum size")
+
+// encodeHeader serializes the datagram header.
+func encodeHeader(d *Datagram, compress bool) []byte {
+	n := uncompressedHeaderLen
+	if compress {
+		n = compressedHeaderLen
+	}
+	buf := make([]byte, n)
+	buf[0] = headerVersion
+	if compress {
+		buf[0] |= flagCompressed
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(d.Src))
+	binary.BigEndian.PutUint16(buf[3:5], uint16(d.Dst))
+	buf[5] = byte(d.Proto)
+	buf[6] = d.HopLimit
+	binary.BigEndian.PutUint16(buf[7:9], d.Seq)
+	// Uncompressed headers carry the same information padded to IPv6
+	// size; the padding is what compression removes.
+	return buf
+}
+
+// decodeHeader parses a datagram header, returning the header length.
+func decodeHeader(raw []byte) (d Datagram, hlen int, err error) {
+	if len(raw) < compressedHeaderLen {
+		return d, 0, fmt.Errorf("lowpan: header too short (%d bytes)", len(raw))
+	}
+	if raw[0]&^flagCompressed != headerVersion {
+		return d, 0, fmt.Errorf("lowpan: unknown header version %#x", raw[0])
+	}
+	hlen = uncompressedHeaderLen
+	if raw[0]&flagCompressed != 0 {
+		hlen = compressedHeaderLen
+	}
+	if len(raw) < hlen {
+		return d, 0, fmt.Errorf("lowpan: truncated header (%d < %d)", len(raw), hlen)
+	}
+	d.Src = radio.NodeID(binary.BigEndian.Uint16(raw[1:3]))
+	d.Dst = radio.NodeID(binary.BigEndian.Uint16(raw[3:5]))
+	d.Proto = Proto(raw[5])
+	d.HopLimit = raw[6]
+	d.Seq = binary.BigEndian.Uint16(raw[7:9])
+	return d, hlen, nil
+}
+
+// Config configures an Adaptation.
+type Config struct {
+	// MTU is the maximum link-frame payload (default 100 bytes,
+	// 802.15.4-class after MAC overhead).
+	MTU int
+	// Compress enables IPHC-like header compression (default in
+	// NewAdaptation; disable to measure what compression buys).
+	Compress bool
+	// ReassemblyTimeout is how long partial datagrams are kept
+	// (default 5 s).
+	ReassemblyTimeout time.Duration
+}
+
+// Adaptation fragments outgoing datagrams and reassembles incoming ones.
+// It is not safe for concurrent use.
+type Adaptation struct {
+	cfg     Config
+	nextTag uint16
+	reasm   map[reasmKey]*reasmBuf
+}
+
+type reasmKey struct {
+	from radio.NodeID
+	tag  uint16
+}
+
+type reasmBuf struct {
+	created  time.Duration
+	size     int
+	received int
+	data     []byte
+	have     map[int]bool // fragment offsets seen
+}
+
+// NewAdaptation returns an adaptation layer with compression enabled.
+func NewAdaptation(cfg Config) *Adaptation {
+	if cfg.MTU == 0 {
+		cfg.MTU = 100
+	}
+	if cfg.MTU < 16 {
+		panic(fmt.Sprintf("lowpan: MTU %d too small", cfg.MTU))
+	}
+	if cfg.ReassemblyTimeout == 0 {
+		cfg.ReassemblyTimeout = 5 * time.Second
+	}
+	return &Adaptation{cfg: cfg, reasm: make(map[reasmKey]*reasmBuf)}
+}
+
+// Encode serializes d into one or more link-frame payloads.
+func (a *Adaptation) Encode(d *Datagram) ([][]byte, error) {
+	whole := append(encodeHeader(d, a.cfg.Compress), d.Payload...)
+	if len(whole) > MaxDatagramSize {
+		return nil, ErrTooLarge
+	}
+	if 1+len(whole) <= a.cfg.MTU {
+		frame := make([]byte, 1+len(whole))
+		frame[0] = dispUnfrag
+		copy(frame[1:], whole)
+		return [][]byte{frame}, nil
+	}
+	// Fragmentation. Non-final fragments carry chunks that are multiples
+	// of 8 bytes so offsets fit in a byte in 8-byte units.
+	a.nextTag++
+	tag := a.nextTag
+	size := len(whole)
+	var frames [][]byte
+
+	first := (a.cfg.MTU - frag1HeaderLen) &^ 7
+	chunk := whole[:first]
+	f := make([]byte, frag1HeaderLen+len(chunk))
+	f[0] = dispFrag1
+	binary.BigEndian.PutUint16(f[1:3], uint16(size))
+	binary.BigEndian.PutUint16(f[3:5], tag)
+	copy(f[frag1HeaderLen:], chunk)
+	frames = append(frames, f)
+
+	offset := first
+	per := (a.cfg.MTU - fragNHeaderLen) &^ 7
+	for offset < size {
+		end := offset + per
+		if end > size {
+			end = size
+		}
+		chunk := whole[offset:end]
+		f := make([]byte, fragNHeaderLen+len(chunk))
+		f[0] = dispFragN
+		binary.BigEndian.PutUint16(f[1:3], uint16(size))
+		binary.BigEndian.PutUint16(f[3:5], tag)
+		f[5] = byte(offset / 8)
+		copy(f[fragNHeaderLen:], chunk)
+		frames = append(frames, f)
+		offset = end
+	}
+	return frames, nil
+}
+
+// Feed processes one received link-frame payload from a neighbor. now is
+// the current (virtual) time, used for reassembly expiry. It returns the
+// completed datagram, or nil if more fragments are needed.
+func (a *Adaptation) Feed(now time.Duration, from radio.NodeID, frame []byte) (*Datagram, error) {
+	a.expire(now)
+	if len(frame) < 1 {
+		return nil, errors.New("lowpan: empty frame")
+	}
+	switch frame[0] {
+	case dispUnfrag:
+		return a.finish(frame[1:])
+	case dispFrag1, dispFragN:
+		return a.feedFragment(now, from, frame)
+	default:
+		return nil, fmt.Errorf("lowpan: unknown dispatch %#x", frame[0])
+	}
+}
+
+func (a *Adaptation) feedFragment(now time.Duration, from radio.NodeID, frame []byte) (*Datagram, error) {
+	hlen := frag1HeaderLen
+	if frame[0] == dispFragN {
+		hlen = fragNHeaderLen
+	}
+	if len(frame) < hlen {
+		return nil, errors.New("lowpan: truncated fragment header")
+	}
+	size := int(binary.BigEndian.Uint16(frame[1:3]))
+	tag := binary.BigEndian.Uint16(frame[3:5])
+	if size > MaxDatagramSize {
+		return nil, ErrTooLarge
+	}
+	offset := 0
+	if frame[0] == dispFragN {
+		offset = int(frame[5]) * 8
+	}
+	chunk := frame[hlen:]
+	if offset+len(chunk) > size {
+		return nil, fmt.Errorf("lowpan: fragment overruns datagram (%d+%d > %d)", offset, len(chunk), size)
+	}
+
+	key := reasmKey{from: from, tag: tag}
+	buf, ok := a.reasm[key]
+	if !ok {
+		buf = &reasmBuf{created: now, size: size, data: make([]byte, size), have: make(map[int]bool)}
+		a.reasm[key] = buf
+	}
+	if buf.size != size {
+		// Tag reuse with a different size: restart.
+		buf = &reasmBuf{created: now, size: size, data: make([]byte, size), have: make(map[int]bool)}
+		a.reasm[key] = buf
+	}
+	if !buf.have[offset] {
+		buf.have[offset] = true
+		copy(buf.data[offset:], chunk)
+		buf.received += len(chunk)
+	}
+	if buf.received < buf.size {
+		return nil, nil
+	}
+	delete(a.reasm, key)
+	return a.finish(buf.data)
+}
+
+func (a *Adaptation) finish(whole []byte) (*Datagram, error) {
+	d, hlen, err := decodeHeader(whole)
+	if err != nil {
+		return nil, err
+	}
+	d.Payload = whole[hlen:]
+	return &d, nil
+}
+
+func (a *Adaptation) expire(now time.Duration) {
+	for k, b := range a.reasm {
+		if now-b.created > a.cfg.ReassemblyTimeout {
+			delete(a.reasm, k)
+		}
+	}
+}
+
+// PendingReassemblies returns the number of incomplete datagrams held.
+func (a *Adaptation) PendingReassemblies() int { return len(a.reasm) }
+
+// HeaderOverhead returns the per-datagram header bytes under the current
+// compression setting — the quantity header compression reduces.
+func (a *Adaptation) HeaderOverhead() int {
+	if a.cfg.Compress {
+		return compressedHeaderLen
+	}
+	return uncompressedHeaderLen
+}

@@ -1,0 +1,290 @@
+package lowpan
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"iiotds/internal/radio"
+)
+
+func roundTrip(t *testing.T, a *Adaptation, d *Datagram) *Datagram {
+	t.Helper()
+	frames, err := a.Encode(d)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var out *Datagram
+	for i, f := range frames {
+		got, err := a.Feed(0, d.Src, f)
+		if err != nil {
+			t.Fatalf("Feed frame %d: %v", i, err)
+		}
+		if got != nil {
+			if i != len(frames)-1 {
+				t.Fatalf("datagram completed early at frame %d/%d", i, len(frames))
+			}
+			out = got
+		}
+	}
+	if out == nil {
+		t.Fatal("datagram never completed")
+	}
+	return out
+}
+
+func equal(a, b *Datagram) bool {
+	return a.Src == b.Src && a.Dst == b.Dst && a.Proto == b.Proto &&
+		a.HopLimit == b.HopLimit && a.Seq == b.Seq && bytes.Equal(a.Payload, b.Payload)
+}
+
+func TestSingleFrameRoundTrip(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	d := &Datagram{Src: 3, Dst: 9, Proto: ProtoCoAP, HopLimit: 16, Seq: 77, Payload: []byte("small")}
+	got := roundTrip(t, a, d)
+	if !equal(d, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", d, got)
+	}
+}
+
+func TestFragmentedRoundTrip(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	payload := make([]byte, 700)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoGossip, HopLimit: 8, Seq: 1, Payload: payload}
+	frames, err := a.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 7 {
+		t.Fatalf("700-byte datagram produced only %d frames at MTU 100", len(frames))
+	}
+	for _, f := range frames {
+		if len(f) > 100 {
+			t.Fatalf("frame exceeds MTU: %d bytes", len(f))
+		}
+	}
+	got := roundTrip(t, a, d)
+	if !equal(d, got) {
+		t.Fatal("fragmented round trip mismatch")
+	}
+}
+
+func TestOutOfOrderFragments(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	d := &Datagram{Src: 4, Dst: 5, Proto: ProtoRaw, Seq: 9, Payload: payload}
+	frames, err := a.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse delivery order.
+	var got *Datagram
+	for i := len(frames) - 1; i >= 0; i-- {
+		g, err := a.Feed(0, 4, frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			got = g
+		}
+	}
+	if got == nil || !equal(d, got) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestDuplicateFragmentsHarmless(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	payload := make([]byte, 250)
+	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: payload}
+	frames, _ := a.Encode(d)
+	if _, err := a.Feed(0, 1, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Feed(0, 1, frames[0]); err != nil { // dup
+		t.Fatal(err)
+	}
+	var got *Datagram
+	for _, f := range frames[1:] {
+		g, err := a.Feed(0, 1, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			got = g
+		}
+	}
+	if got == nil || !equal(d, got) {
+		t.Fatal("duplicate fragment broke reassembly")
+	}
+}
+
+func TestInterleavedSourcesDoNotMix(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	mk := func(fill byte) *Datagram {
+		p := make([]byte, 300)
+		for i := range p {
+			p[i] = fill
+		}
+		return &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: p}
+	}
+	d1, d2 := mk(0xAA), mk(0xBB)
+	f1, _ := a.Encode(d1)
+	f2, _ := a.Encode(d2)
+	// Interleave frames from two different link neighbors (7 and 8).
+	var got1, got2 *Datagram
+	for i := 0; i < len(f1) || i < len(f2); i++ {
+		if i < len(f1) {
+			if g, _ := a.Feed(0, 7, f1[i]); g != nil {
+				got1 = g
+			}
+		}
+		if i < len(f2) {
+			if g, _ := a.Feed(0, 8, f2[i]); g != nil {
+				got2 = g
+			}
+		}
+	}
+	if got1 == nil || got2 == nil {
+		t.Fatal("interleaved reassembly incomplete")
+	}
+	if got1.Payload[0] != 0xAA || got2.Payload[0] != 0xBB {
+		t.Fatal("interleaved reassembly mixed payloads")
+	}
+}
+
+func TestReassemblyExpiry(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true, ReassemblyTimeout: time.Second})
+	payload := make([]byte, 300)
+	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: payload}
+	frames, _ := a.Encode(d)
+	if _, err := a.Feed(0, 1, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingReassemblies() != 1 {
+		t.Fatal("no pending reassembly")
+	}
+	// Past the timeout, remaining fragments start a fresh (incomplete)
+	// buffer rather than completing the stale one.
+	got, err := a.Feed(2*time.Second, 1, frames[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("stale reassembly completed after expiry")
+	}
+}
+
+func TestCompressionSavesBytes(t *testing.T) {
+	c := NewAdaptation(Config{Compress: true})
+	u := NewAdaptation(Config{Compress: false})
+	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoCoAP, Payload: []byte("x")}
+	fc, _ := c.Encode(d)
+	fu, _ := u.Encode(d)
+	if len(fc) != 1 || len(fu) != 1 {
+		t.Fatal("tiny datagram fragmented")
+	}
+	saved := len(fu[0]) - len(fc[0])
+	if saved != uncompressedHeaderLen-compressedHeaderLen {
+		t.Fatalf("compression saved %d bytes, want %d", saved, uncompressedHeaderLen-compressedHeaderLen)
+	}
+	if c.HeaderOverhead() >= u.HeaderOverhead() {
+		t.Fatal("HeaderOverhead ordering wrong")
+	}
+}
+
+func TestUncompressedRoundTrip(t *testing.T) {
+	a := NewAdaptation(Config{Compress: false})
+	d := &Datagram{Src: 100, Dst: 200, Proto: ProtoCoAP, HopLimit: 3, Seq: 500, Payload: []byte("legacy")}
+	got := roundTrip(t, a, d)
+	if !equal(d, got) {
+		t.Fatal("uncompressed round trip mismatch")
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	d := &Datagram{Payload: make([]byte, MaxDatagramSize+1)}
+	if _, err := a.Encode(d); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestGarbageFrames(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	for _, frame := range [][]byte{
+		nil,
+		{},
+		{0xFF, 1, 2},
+		{dispUnfrag},
+		{dispFrag1, 0},
+		{dispFragN, 0, 0, 0, 0},
+	} {
+		if _, err := a.Feed(0, 1, frame); err == nil {
+			t.Errorf("garbage frame %v accepted", frame)
+		}
+	}
+}
+
+func TestFragmentOverrunRejected(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	// FRAGN claiming size 16 with offset 8 and 100 bytes of chunk.
+	f := make([]byte, fragNHeaderLen+100)
+	f[0] = dispFragN
+	f[1], f[2] = 0, 16
+	f[3], f[4] = 0, 1
+	f[5] = 1
+	if _, err := a.Feed(0, 1, f); err == nil {
+		t.Fatal("overrunning fragment accepted")
+	}
+}
+
+func TestPropertyRoundTripAnyPayload(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	f := func(src, dst uint16, proto, hop byte, seq uint16, payload []byte) bool {
+		if len(payload) > MaxDatagramSize-compressedHeaderLen {
+			payload = payload[:MaxDatagramSize-compressedHeaderLen]
+		}
+		d := &Datagram{
+			Src: int16ID(src), Dst: int16ID(dst), Proto: Proto(proto),
+			HopLimit: hop, Seq: seq, Payload: payload,
+		}
+		frames, err := a.Encode(d)
+		if err != nil {
+			return false
+		}
+		var got *Datagram
+		for _, fr := range frames {
+			g, err := a.Feed(0, d.Src, fr)
+			if err != nil {
+				return false
+			}
+			if g != nil {
+				got = g
+			}
+		}
+		return got != nil && equal(d, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMTUTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdaptation(Config{MTU: 4})
+}
+
+// int16ID maps an arbitrary uint16 into the NodeID space used on the wire.
+func int16ID(v uint16) radio.NodeID { return radio.NodeID(v) }

@@ -1,0 +1,246 @@
+package mac
+
+import (
+	"time"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// CSMAConfig configures the always-on carrier-sense MAC.
+type CSMAConfig struct {
+	Config
+	// BackoffSlot is the unit backoff duration (default 320 µs, the
+	// 802.15.4 unit backoff period).
+	BackoffSlot time.Duration
+	// MaxBackoffExp bounds the binary-exponential backoff window
+	// (default 5, i.e. up to 32 slots).
+	MaxBackoffExp int
+}
+
+func (c *CSMAConfig) applyDefaults() {
+	c.Config.applyDefaults()
+	if c.BackoffSlot == 0 {
+		c.BackoffSlot = 320 * time.Microsecond
+	}
+	if c.MaxBackoffExp == 0 {
+		c.MaxBackoffExp = 5
+	}
+}
+
+// CSMA is an always-listening carrier-sense MAC with binary exponential
+// backoff and unicast ACKs. It provides the lowest latency and the highest
+// energy cost: the baseline the duty-cycled MACs are compared against.
+type CSMA struct {
+	m   *radio.Medium
+	k   *sim.Kernel
+	id  radio.NodeID
+	cfg CSMAConfig
+
+	handler Handler
+	queue   []outItem
+	sending bool
+	seq     uint16
+	dedup   *dedup
+
+	// In-flight unicast state.
+	awaitAckSeq uint16
+	awaitAckTo  radio.NodeID
+	ackTimer    *sim.Event
+	attempt     int
+
+	started bool
+	accrual *sim.Repeater
+	stopped bool
+}
+
+var _ MAC = (*CSMA)(nil)
+
+// NewCSMA creates a CSMA MAC for node id on medium m and attaches it as
+// the node's radio receiver. The node must already be attached to the
+// medium by the caller with this MAC as receiver, or use Attach.
+func NewCSMA(m *radio.Medium, id radio.NodeID, cfg CSMAConfig) *CSMA {
+	cfg.applyDefaults()
+	return &CSMA{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+}
+
+// Name implements MAC.
+func (c *CSMA) Name() string { return "csma" }
+
+// OnReceive implements MAC.
+func (c *CSMA) OnReceive(h Handler) { c.handler = h }
+
+// QueueLen implements MAC.
+func (c *CSMA) QueueLen() int { return len(c.queue) }
+
+// Retune implements MAC.
+func (c *CSMA) Retune(ch uint8) {
+	c.cfg.Channel = ch
+	if c.started {
+		c.m.SetChannel(c.id, ch)
+	}
+}
+
+// Start turns the radio on permanently.
+func (c *CSMA) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.stopped = false
+	c.m.SetChannel(c.id, c.cfg.Channel)
+	c.m.SetListening(c.id, true)
+	// Accrue idle-listening energy once per simulated second.
+	c.accrual = c.k.Every(time.Second, 0, func() {
+		c.m.Energy().Ledger(int(c.id)).Spend(metrics.StateListen, time.Second)
+	})
+}
+
+// Stop turns the radio off and fails all queued sends.
+func (c *CSMA) Stop() {
+	if !c.started {
+		return
+	}
+	c.started = false
+	c.stopped = true
+	c.m.SetListening(c.id, false)
+	if c.accrual != nil {
+		c.accrual.Stop()
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Cancel()
+	}
+	for _, it := range c.queue {
+		if it.done != nil {
+			it.done(false)
+		}
+	}
+	c.queue = nil
+	c.sending = false
+}
+
+// Send implements MAC.
+func (c *CSMA) Send(to radio.NodeID, payload []byte, done DoneFunc) {
+	if !c.started {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	c.queue = append(c.queue, outItem{to: to, payload: payload, done: done})
+	if !c.sending {
+		c.startNext()
+	}
+}
+
+func (c *CSMA) startNext() {
+	if len(c.queue) == 0 || c.stopped {
+		c.sending = false
+		return
+	}
+	c.sending = true
+	c.attempt = 0
+	c.seq++
+	// 802.15.4 performs a random backoff before the first CCA; without
+	// it, event-triggered transmissions from several nodes (e.g. all
+	// neighbors answering one broadcast) align on the same instant and
+	// collide deterministically.
+	c.initialBackoff()
+}
+
+func (c *CSMA) initialBackoff() {
+	slots := c.k.Rand().Int63n(8) + 1
+	c.k.Schedule(time.Duration(slots)*c.cfg.BackoffSlot, func() { c.tryTransmit(1) })
+}
+
+// tryTransmit performs carrier sense with exponential backoff, then puts
+// the frame on the air.
+func (c *CSMA) tryTransmit(backoffExp int) {
+	if c.stopped || len(c.queue) == 0 {
+		return
+	}
+	if c.m.CarrierSense(c.id) {
+		exp := backoffExp + 1
+		if exp > c.cfg.MaxBackoffExp {
+			exp = c.cfg.MaxBackoffExp
+		}
+		slots := c.k.Rand().Int63n(1 << uint(exp))
+		c.k.Schedule(time.Duration(slots+1)*c.cfg.BackoffSlot, func() {
+			c.tryTransmit(exp)
+		})
+		return
+	}
+	it := c.queue[0]
+	raw := encode(KindData, c.seq, it.payload)
+	air := c.m.Send(radio.Frame{
+		From: c.id, To: it.to, Channel: c.cfg.Channel, Tenant: c.cfg.Tenant,
+		Size: len(raw), Payload: raw,
+	})
+	if it.to == radio.Broadcast {
+		// No ACK for broadcast: complete after airtime.
+		c.k.Schedule(air, func() { c.finish(true) })
+		return
+	}
+	c.awaitAckSeq = c.seq
+	c.awaitAckTo = it.to
+	c.ackTimer = c.k.Schedule(air+c.cfg.AckTimeout, func() { c.onAckTimeout() })
+}
+
+func (c *CSMA) onAckTimeout() {
+	c.attempt++
+	if c.attempt > c.cfg.MaxRetries {
+		c.m.Registry().Counter("mac.csma.tx_failed").Inc()
+		c.finish(false)
+		return
+	}
+	c.m.Registry().Counter("mac.csma.retries").Inc()
+	c.initialBackoff()
+}
+
+func (c *CSMA) finish(ok bool) {
+	if len(c.queue) == 0 {
+		return
+	}
+	it := c.queue[0]
+	c.queue = c.queue[1:]
+	if it.done != nil {
+		it.done(ok)
+	}
+	c.startNext()
+}
+
+// RadioReceive implements radio.Receiver.
+func (c *CSMA) RadioReceive(f radio.Frame) {
+	if !c.started {
+		return
+	}
+	kind, seq, payload, err := decode(f.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case KindData:
+		if f.To != c.id && f.To != radio.Broadcast {
+			return // overheard unicast for someone else
+		}
+		if f.To == c.id {
+			// ACK even duplicates: the sender may have missed our ACK.
+			ack := encode(KindAck, seq, nil)
+			c.m.Send(radio.Frame{
+				From: c.id, To: f.From, Channel: c.cfg.Channel,
+				Tenant: c.cfg.Tenant, Size: len(ack), Payload: ack,
+			})
+		}
+		if c.dedup.fresh(f.From, seq) && c.handler != nil {
+			c.handler(f.From, payload)
+		}
+	case KindAck:
+		if f.To == c.id && c.sending && seq == c.awaitAckSeq && f.From == c.awaitAckTo {
+			if c.ackTimer != nil {
+				c.ackTimer.Cancel()
+			}
+			c.finish(true)
+		}
+	}
+}

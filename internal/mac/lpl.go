@@ -1,0 +1,296 @@
+package mac
+
+import (
+	"time"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// LPLConfig configures the low-power-listening MAC.
+type LPLConfig struct {
+	Config
+	// WakeInterval is the receiver check period (default 500 ms). The
+	// paper's §IV-B point — "a packet may take seconds to be transmitted
+	// over few wireless hops" — is a direct consequence of this knob.
+	WakeInterval time.Duration
+	// CheckDuration is how long each channel check keeps the radio on
+	// (default 5 ms).
+	CheckDuration time.Duration
+	// StrobeGap is the pause between strobed data copies during which
+	// the sender listens for the early ACK (default 2 ms).
+	StrobeGap time.Duration
+	// IdleTimeout is how long a woken receiver stays on without traffic
+	// before sleeping again (default 20 ms).
+	IdleTimeout time.Duration
+}
+
+func (c *LPLConfig) applyDefaults() {
+	c.Config.applyDefaults()
+	if c.WakeInterval == 0 {
+		c.WakeInterval = 500 * time.Millisecond
+	}
+	if c.CheckDuration == 0 {
+		c.CheckDuration = 5 * time.Millisecond
+	}
+	if c.StrobeGap == 0 {
+		c.StrobeGap = 2 * time.Millisecond
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 20 * time.Millisecond
+	}
+}
+
+// LPL is an X-MAC-style low-power-listening MAC. Receivers duty-cycle the
+// radio with short periodic channel checks; senders strobe data copies for
+// up to one wake interval until the receiver's early ACK arrives. Unicast
+// latency per hop is therefore ~WakeInterval/2 on average, and the radio
+// duty cycle is ~CheckDuration/WakeInterval.
+type LPL struct {
+	m   *radio.Medium
+	k   *sim.Kernel
+	id  radio.NodeID
+	cfg LPLConfig
+
+	handler Handler
+	queue   []outItem
+	sending bool
+	seq     uint16
+	dedup   *dedup
+
+	started   bool
+	stopped   bool
+	wake      *sim.Repeater
+	sleepEv   *sim.Event
+	awake     bool
+	lastAwake sim.Time
+
+	// Strobing state.
+	strobing    bool
+	strobeEnd   sim.Time
+	awaitAckSeq uint16
+	awaitAckTo  radio.NodeID
+	gotAck      bool
+}
+
+var _ MAC = (*LPL)(nil)
+
+// NewLPL creates an LPL MAC for node id on medium m.
+func NewLPL(m *radio.Medium, id radio.NodeID, cfg LPLConfig) *LPL {
+	cfg.applyDefaults()
+	return &LPL{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+}
+
+// Name implements MAC.
+func (l *LPL) Name() string { return "lpl" }
+
+// OnReceive implements MAC.
+func (l *LPL) OnReceive(h Handler) { l.handler = h }
+
+// QueueLen implements MAC.
+func (l *LPL) QueueLen() int { return len(l.queue) }
+
+// Retune implements MAC.
+func (l *LPL) Retune(ch uint8) {
+	l.cfg.Channel = ch
+	if l.started {
+		l.m.SetChannel(l.id, ch)
+	}
+}
+
+// Start begins the periodic channel checks.
+func (l *LPL) Start() {
+	if l.started {
+		return
+	}
+	l.started = true
+	l.stopped = false
+	l.m.SetChannel(l.id, l.cfg.Channel)
+	l.m.SetListening(l.id, false)
+	// Jitter staggers wake schedules across nodes, as real LPL networks do.
+	l.wake = l.k.Every(l.cfg.WakeInterval, l.cfg.WakeInterval/10, func() { l.channelCheck() })
+}
+
+// Stop turns everything off and fails queued sends.
+func (l *LPL) Stop() {
+	if !l.started {
+		return
+	}
+	l.started = false
+	l.stopped = true
+	if l.wake != nil {
+		l.wake.Stop()
+	}
+	if l.sleepEv != nil {
+		l.sleepEv.Cancel()
+	}
+	l.setAwake(false)
+	for _, it := range l.queue {
+		if it.done != nil {
+			it.done(false)
+		}
+	}
+	l.queue = nil
+	l.sending = false
+	l.strobing = false
+}
+
+func (l *LPL) setAwake(on bool) {
+	if on == l.awake {
+		return
+	}
+	if on {
+		l.lastAwake = l.k.Now()
+	} else {
+		// Charge idle listening for the awake span.
+		l.m.Energy().Ledger(int(l.id)).Spend(metrics.StateListen, l.k.Now()-l.lastAwake)
+	}
+	l.awake = on
+	l.m.SetListening(l.id, on)
+}
+
+// channelCheck is the periodic wake-up: listen briefly, stay up if the
+// channel is busy.
+func (l *LPL) channelCheck() {
+	if l.stopped || l.strobing {
+		return
+	}
+	l.setAwake(true)
+	l.scheduleSleep(l.cfg.CheckDuration)
+}
+
+// scheduleSleep (re)arms the radio-off decision d from now.
+func (l *LPL) scheduleSleep(d time.Duration) {
+	if l.sleepEv != nil {
+		l.sleepEv.Cancel()
+	}
+	l.sleepEv = l.k.Schedule(d, func() {
+		if l.stopped || l.strobing {
+			return
+		}
+		if l.m.CarrierSense(l.id) {
+			// Mid-frame: stay up long enough to decode it.
+			l.scheduleSleep(l.cfg.IdleTimeout)
+			return
+		}
+		l.setAwake(false)
+	})
+}
+
+// Send implements MAC.
+func (l *LPL) Send(to radio.NodeID, payload []byte, done DoneFunc) {
+	if !l.started {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	l.queue = append(l.queue, outItem{to: to, payload: payload, done: done})
+	if !l.sending {
+		l.startNext()
+	}
+}
+
+func (l *LPL) startNext() {
+	if len(l.queue) == 0 || l.stopped {
+		l.sending = false
+		return
+	}
+	l.sending = true
+	l.seq++
+	it := l.queue[0]
+	l.strobing = true
+	l.gotAck = false
+	l.awaitAckSeq = l.seq
+	l.awaitAckTo = it.to
+	// The sender keeps its radio on for the whole strobe (to hear the
+	// early ACK) and strobes for at most one full wake interval plus a
+	// copy, which guarantees overlap with the target's channel check.
+	l.setAwake(true)
+	raw := encode(KindData, l.seq, it.payload)
+	air := l.m.Airtime(len(raw))
+	// Radio turnaround before the first copy: a node that starts
+	// forwarding from its receive handler must not transmit while its
+	// own link-layer ACK is still in the air.
+	turnaround := l.cfg.StrobeGap + time.Duration(l.k.Rand().Int63n(int64(2*time.Millisecond)))
+	l.strobeEnd = l.k.Now() + turnaround + l.cfg.WakeInterval + 2*(air+l.cfg.StrobeGap)
+	l.k.Schedule(turnaround, func() { l.strobeOnce(raw) })
+}
+
+func (l *LPL) strobeOnce(raw []byte) {
+	if l.stopped || !l.strobing {
+		return
+	}
+	it := l.queue[0]
+	if l.gotAck {
+		l.endStrobe(true)
+		return
+	}
+	if l.k.Now() >= l.strobeEnd {
+		// Broadcast strobes succeed by construction; unicast without an
+		// ACK failed.
+		l.endStrobe(it.to == radio.Broadcast)
+		return
+	}
+	air := l.m.Send(radio.Frame{
+		From: l.id, To: it.to, Channel: l.cfg.Channel, Tenant: l.cfg.Tenant,
+		Size: len(raw), Payload: raw,
+	})
+	l.m.Registry().Counter("mac.lpl.strobes").Inc()
+	l.k.Schedule(air+l.cfg.StrobeGap, func() { l.strobeOnce(raw) })
+}
+
+func (l *LPL) endStrobe(ok bool) {
+	l.strobing = false
+	// Return to duty-cycled sleep shortly after finishing.
+	l.scheduleSleep(l.cfg.StrobeGap)
+	it := l.queue[0]
+	l.queue = l.queue[1:]
+	if it.done != nil {
+		it.done(ok)
+	}
+	if !ok {
+		l.m.Registry().Counter("mac.lpl.tx_failed").Inc()
+	}
+	l.startNext()
+}
+
+// RadioReceive implements radio.Receiver.
+func (l *LPL) RadioReceive(f radio.Frame) {
+	if !l.started {
+		return
+	}
+	kind, seq, payload, err := decode(f.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case KindData:
+		if f.To != l.id && f.To != radio.Broadcast {
+			// Overheard strobe for someone else: go back to sleep soon.
+			l.scheduleSleep(l.cfg.CheckDuration)
+			return
+		}
+		if f.To == l.id {
+			ack := encode(KindAck, seq, nil)
+			l.m.Send(radio.Frame{
+				From: l.id, To: f.From, Channel: l.cfg.Channel,
+				Tenant: l.cfg.Tenant, Size: len(ack), Payload: ack,
+			})
+		}
+		if l.dedup.fresh(f.From, seq) && l.handler != nil {
+			l.handler(f.From, payload)
+		}
+		// Stay up briefly in case more traffic follows (e.g., we are a
+		// forwarding hop), then sleep.
+		if !l.strobing {
+			l.setAwake(true)
+			l.scheduleSleep(l.cfg.IdleTimeout)
+		}
+	case KindAck:
+		if f.To == l.id && l.strobing && seq == l.awaitAckSeq && f.From == l.awaitAckTo {
+			l.gotAck = true
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package mac implements medium-access control disciplines for the
+// sensing-and-actuation layer. Three MACs cover the design space the paper
+// discusses in §IV-B:
+//
+//   - CSMA: an always-on carrier-sense MAC — the latency baseline with no
+//     energy savings.
+//   - LPL: low-power listening with sender strobing and early ACK
+//     (X-MAC-style, paper refs [26,27]) — receivers wake briefly every
+//     interval, so multi-hop latency is dominated by wake intervals.
+//   - TDMA: a synchronized transmission pipeline (Dozer/Koala-style,
+//     paper refs [28-30]) — staggered slots let a packet traverse many
+//     hops within one epoch, which is the paper's "highly synchronous
+//     end-to-end communication" point.
+//
+// All MACs speak the same tiny header (kind, sequence number), perform
+// unicast ACKs with bounded retries, deduplicate consecutive
+// retransmissions, and account idle-listening energy so duty cycles are
+// measurable.
+package mac
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"iiotds/internal/radio"
+)
+
+// Kind discriminates MAC frame types.
+type Kind byte
+
+const (
+	// KindData carries an upper-layer payload.
+	KindData Kind = 1
+	// KindAck acknowledges a unicast data frame.
+	KindAck Kind = 2
+	// KindBeacon announces a receiver wake-up (receiver-initiated MACs).
+	KindBeacon Kind = 3
+)
+
+// headerLen is the MAC header size: kind (1) + seq (2).
+const headerLen = 3
+
+// Handler receives decoded upper-layer payloads.
+type Handler func(from radio.NodeID, payload []byte)
+
+// DoneFunc reports the outcome of a Send: delivered is true when the
+// frame was acknowledged (unicast) or fully strobed (broadcast).
+type DoneFunc func(delivered bool)
+
+// MAC is the interface all disciplines implement. Send enqueues one
+// payload; frames are transmitted in FIFO order, one at a time. done may
+// be nil.
+type MAC interface {
+	Start()
+	Stop()
+	Send(to radio.NodeID, payload []byte, done DoneFunc)
+	OnReceive(h Handler)
+	Name() string
+	// QueueLen returns the number of payloads waiting (including the
+	// one in flight).
+	QueueLen() int
+	// Retune moves the node to another radio channel (spectrum
+	// coordination, §IV-C).
+	Retune(ch uint8)
+}
+
+// encode builds the on-air payload for a MAC frame.
+func encode(kind Kind, seq uint16, payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	buf[0] = byte(kind)
+	binary.BigEndian.PutUint16(buf[1:3], seq)
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+// decode splits an on-air payload into its MAC header and upper payload.
+func decode(raw []byte) (kind Kind, seq uint16, payload []byte, err error) {
+	if len(raw) < headerLen {
+		return 0, 0, nil, fmt.Errorf("mac: frame too short (%d bytes)", len(raw))
+	}
+	return Kind(raw[0]), binary.BigEndian.Uint16(raw[1:3]), raw[headerLen:], nil
+}
+
+// outItem is one queued send.
+type outItem struct {
+	to      radio.NodeID
+	payload []byte
+	done    DoneFunc
+}
+
+// dedup suppresses consecutive duplicate data frames per neighbor, which
+// ARQ retransmissions produce.
+type dedup struct {
+	last map[radio.NodeID]uint16
+	seen map[radio.NodeID]bool
+}
+
+func newDedup() *dedup {
+	return &dedup{last: make(map[radio.NodeID]uint16), seen: make(map[radio.NodeID]bool)}
+}
+
+// fresh records (from, seq) and reports whether it was not a duplicate of
+// the previous frame from that neighbor.
+func (d *dedup) fresh(from radio.NodeID, seq uint16) bool {
+	if d.seen[from] && d.last[from] == seq {
+		return false
+	}
+	d.seen[from] = true
+	d.last[from] = seq
+	return true
+}
+
+// Config carries the knobs common to all MACs.
+type Config struct {
+	// Channel the node is tuned to.
+	Channel uint8
+	// Tenant is the administrative domain tag stamped on frames (§IV-C).
+	Tenant string
+	// MaxRetries bounds unicast retransmissions (default 3).
+	MaxRetries int
+	// AckTimeout is how long a sender waits for an ACK (default 5 ms;
+	// TDMA ignores it and uses in-slot ACKs).
+	AckTimeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 5 * time.Millisecond
+	}
+}

@@ -1,0 +1,329 @@
+package mac
+
+import (
+	"time"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// RIMACConfig configures the receiver-initiated MAC.
+type RIMACConfig struct {
+	Config
+	// BeaconInterval is the receiver wake-and-beacon period
+	// (default 500 ms). Latency per hop is ~BeaconInterval/2, as with
+	// LPL, but the rendezvous cost moves from sender strobing to
+	// receiver beacons.
+	BeaconInterval time.Duration
+	// Dwell is how long the receiver stays awake after its beacon
+	// waiting for data (default 5 ms).
+	Dwell time.Duration
+	// IdleTimeout extends the wake while traffic flows (default 20 ms).
+	IdleTimeout time.Duration
+}
+
+func (c *RIMACConfig) applyDefaults() {
+	c.Config.applyDefaults()
+	if c.BeaconInterval == 0 {
+		c.BeaconInterval = 500 * time.Millisecond
+	}
+	if c.Dwell == 0 {
+		c.Dwell = 5 * time.Millisecond
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 20 * time.Millisecond
+	}
+}
+
+// RIMAC is a receiver-initiated duty-cycled MAC in the style of RI-MAC
+// (paper ref [27]): receivers periodically wake and advertise themselves
+// with a short beacon; a sender with pending data wakes, listens for the
+// target's beacon, and transmits immediately after it. Compared to LPL,
+// the medium is occupied only by short beacons instead of long strobe
+// trains, which behaves much better under contention.
+type RIMAC struct {
+	m   *radio.Medium
+	k   *sim.Kernel
+	id  radio.NodeID
+	cfg RIMACConfig
+
+	handler Handler
+	queue   []outItem
+	sending bool
+	seq     uint16
+	dedup   *dedup
+
+	started   bool
+	stopped   bool
+	beacons   *sim.Repeater
+	sleepEv   *sim.Event
+	awake     bool
+	lastAwake sim.Time
+
+	// Sender rendezvous state.
+	waiting     bool
+	waitTarget  radio.NodeID
+	waitExpire  *sim.Event
+	attempt     int
+	awaitAckSeq uint16
+	gotAck      bool
+	bcastUntil  sim.Time
+}
+
+var _ MAC = (*RIMAC)(nil)
+
+// NewRIMAC creates a receiver-initiated MAC for node id on medium m.
+func NewRIMAC(m *radio.Medium, id radio.NodeID, cfg RIMACConfig) *RIMAC {
+	cfg.applyDefaults()
+	return &RIMAC{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+}
+
+// Name implements MAC.
+func (r *RIMAC) Name() string { return "rimac" }
+
+// OnReceive implements MAC.
+func (r *RIMAC) OnReceive(h Handler) { r.handler = h }
+
+// QueueLen implements MAC.
+func (r *RIMAC) QueueLen() int { return len(r.queue) }
+
+// Retune implements MAC.
+func (r *RIMAC) Retune(ch uint8) {
+	r.cfg.Channel = ch
+	if r.started {
+		r.m.SetChannel(r.id, ch)
+	}
+}
+
+// Start begins the beacon schedule.
+func (r *RIMAC) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	r.stopped = false
+	r.m.SetChannel(r.id, r.cfg.Channel)
+	r.m.SetListening(r.id, false)
+	r.beacons = r.k.Every(r.cfg.BeaconInterval, r.cfg.BeaconInterval/8, r.beacon)
+}
+
+// Stop halts the MAC and fails queued sends.
+func (r *RIMAC) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	r.stopped = true
+	if r.beacons != nil {
+		r.beacons.Stop()
+	}
+	if r.sleepEv != nil {
+		r.sleepEv.Cancel()
+	}
+	if r.waitExpire != nil {
+		r.waitExpire.Cancel()
+	}
+	r.setAwake(false)
+	for _, it := range r.queue {
+		if it.done != nil {
+			it.done(false)
+		}
+	}
+	r.queue = nil
+	r.sending = false
+	r.waiting = false
+}
+
+func (r *RIMAC) setAwake(on bool) {
+	if on == r.awake {
+		return
+	}
+	if on {
+		r.lastAwake = r.k.Now()
+	} else {
+		r.m.Energy().Ledger(int(r.id)).Spend(metrics.StateListen, r.k.Now()-r.lastAwake)
+	}
+	r.awake = on
+	r.m.SetListening(r.id, on)
+}
+
+// beacon is the receiver-side wake-up: advertise, then listen briefly.
+func (r *RIMAC) beacon() {
+	if r.stopped || r.waiting {
+		return // a waiting sender is already listening continuously
+	}
+	r.setAwake(true)
+	raw := encode(KindBeacon, 0, nil)
+	r.m.Send(radio.Frame{
+		From: r.id, To: radio.Broadcast, Channel: r.cfg.Channel,
+		Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
+	})
+	r.m.Registry().Counter("mac.rimac.beacons").Inc()
+	r.scheduleSleep(r.cfg.Dwell)
+}
+
+func (r *RIMAC) scheduleSleep(d time.Duration) {
+	if r.sleepEv != nil {
+		r.sleepEv.Cancel()
+	}
+	r.sleepEv = r.k.Schedule(d, func() {
+		if r.stopped || r.waiting {
+			return
+		}
+		if r.m.CarrierSense(r.id) {
+			r.scheduleSleep(r.cfg.IdleTimeout)
+			return
+		}
+		r.setAwake(false)
+	})
+}
+
+// Send implements MAC.
+func (r *RIMAC) Send(to radio.NodeID, payload []byte, done DoneFunc) {
+	if !r.started {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	r.queue = append(r.queue, outItem{to: to, payload: payload, done: done})
+	if !r.sending {
+		r.startNext()
+	}
+}
+
+func (r *RIMAC) startNext() {
+	if len(r.queue) == 0 || r.stopped {
+		r.sending = false
+		return
+	}
+	r.sending = true
+	r.attempt = 0
+	r.seq++
+	r.gotAck = false
+	it := r.queue[0]
+	// Rendezvous: stay awake until the target's next beacon (or, for
+	// broadcast, for one full beacon interval answering every beacon).
+	r.waiting = true
+	r.waitTarget = it.to
+	r.setAwake(true)
+	window := r.cfg.BeaconInterval + r.cfg.BeaconInterval/4
+	if it.to == radio.Broadcast {
+		r.bcastUntil = r.k.Now() + window
+	}
+	r.waitExpire = r.k.Schedule(window, func() { r.waitExpired() })
+}
+
+func (r *RIMAC) waitExpired() {
+	if r.stopped || !r.waiting {
+		return
+	}
+	it := r.queue[0]
+	if it.to == radio.Broadcast {
+		// Broadcast window over: counted as delivered to whoever woke.
+		r.finish(true)
+		return
+	}
+	r.attempt++
+	if r.attempt > r.cfg.MaxRetries {
+		r.m.Registry().Counter("mac.rimac.tx_failed").Inc()
+		r.finish(false)
+		return
+	}
+	// Keep waiting through another beacon period.
+	r.waitExpire = r.k.Schedule(r.cfg.BeaconInterval, func() { r.waitExpired() })
+}
+
+func (r *RIMAC) finish(ok bool) {
+	r.waiting = false
+	if r.waitExpire != nil {
+		r.waitExpire.Cancel()
+	}
+	r.scheduleSleep(r.cfg.Dwell)
+	if len(r.queue) == 0 {
+		r.sending = false
+		return
+	}
+	it := r.queue[0]
+	r.queue = r.queue[1:]
+	if it.done != nil {
+		it.done(ok)
+	}
+	r.startNext()
+}
+
+// RadioReceive implements radio.Receiver.
+func (r *RIMAC) RadioReceive(f radio.Frame) {
+	if !r.started {
+		return
+	}
+	kind, seq, payload, err := decode(f.Payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case KindBeacon:
+		if !r.waiting {
+			return
+		}
+		it := r.queue[0]
+		if it.to == radio.Broadcast {
+			if r.k.Now() < r.bcastUntil {
+				raw := encode(KindData, r.seq, it.payload)
+				r.m.Send(radio.Frame{
+					From: r.id, To: radio.Broadcast, Channel: r.cfg.Channel,
+					Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
+				})
+			}
+			return
+		}
+		if f.From != it.to {
+			return // someone else's beacon
+		}
+		// The target is awake: contend for it. Several senders may be
+		// waiting on the same beacon, so back off a random slice of the
+		// dwell window and carrier-sense before transmitting (RI-MAC's
+		// collision-avoidance window). Losing the race just means
+		// waiting for the next beacon.
+		seq := r.seq
+		backoff := time.Duration(r.k.Rand().Int63n(int64(r.cfg.Dwell * 4 / 5)))
+		r.k.Schedule(backoff, func() {
+			if r.stopped || !r.waiting || r.seq != seq || r.gotAck {
+				return
+			}
+			if r.m.CarrierSense(r.id) {
+				return // another sender won this rendezvous
+			}
+			r.awaitAckSeq = seq
+			raw := encode(KindData, seq, it.payload)
+			r.m.Send(radio.Frame{
+				From: r.id, To: it.to, Channel: r.cfg.Channel,
+				Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
+			})
+		})
+	case KindData:
+		if f.To != r.id && f.To != radio.Broadcast {
+			return
+		}
+		if f.To == r.id {
+			ack := encode(KindAck, seq, nil)
+			r.m.Send(radio.Frame{
+				From: r.id, To: f.From, Channel: r.cfg.Channel,
+				Tenant: r.cfg.Tenant, Size: len(ack), Payload: ack,
+			})
+		}
+		if r.dedup.fresh(f.From, seq) && r.handler != nil {
+			r.handler(f.From, payload)
+		}
+		if !r.waiting {
+			r.setAwake(true)
+			r.scheduleSleep(r.cfg.IdleTimeout)
+		}
+	case KindAck:
+		if f.To == r.id && r.waiting && seq == r.awaitAckSeq {
+			r.gotAck = true
+			r.finish(true)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package radio emulates the shared lossy wireless medium of the
+// sensing-and-actuation layer: distance-based packet reception, frame
+// airtime, co-channel collisions, multiple channels (for the paper's
+// §IV-C coexistence discussion), and per-frame energy accounting.
+//
+// The model is deliberately at the granularity the paper's claims need:
+// loss grows with distance, concurrent co-channel transmissions audible at
+// a receiver destroy each other (no capture effect), nodes only hear
+// frames while their radio is listening on the right channel, and every
+// transmitted or received byte costs energy.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/sim"
+)
+
+// NodeID identifies a radio endpoint on a medium.
+type NodeID int
+
+// Broadcast is the destination address for frames addressed to every
+// listener in range.
+const Broadcast NodeID = -1
+
+// Position is a point in the deployment plane, in meters.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to q in meters.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Frame is one link-layer transmission unit. Payload is opaque to the
+// medium; Size is the on-air size in bytes (header overhead included), and
+// governs airtime and energy.
+type Frame struct {
+	From    NodeID
+	To      NodeID // Broadcast or a specific node
+	Channel uint8
+	Tenant  string // administrative domain, for §IV-C accounting
+	Size    int    // bytes on air
+	Payload []byte
+}
+
+// Receiver is implemented by the link/MAC layer of each node to accept
+// frames the medium delivers.
+type Receiver interface {
+	RadioReceive(f Frame)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(f Frame)
+
+// RadioReceive calls f.
+func (f ReceiverFunc) RadioReceive(fr Frame) { f(fr) }
+
+var _ Receiver = ReceiverFunc(nil)
+
+// LinkFilter can veto delivery between a pair of nodes; the fault package
+// uses it to create partitions and asymmetric links.
+type LinkFilter func(from, to NodeID) bool
+
+// Params configures the propagation and PHY model.
+type Params struct {
+	// BitRate in bits per second (default 250 kbps, 802.15.4-class).
+	BitRate float64
+	// RangeReliable is the distance up to which PRR is PRRMax.
+	RangeReliable float64
+	// RangeMax is the distance beyond which PRR is zero; between
+	// RangeReliable and RangeMax the PRR decays linearly. This gray
+	// region reproduces the lossy links low-power deployments see.
+	RangeMax float64
+	// PRRMax is the packet reception ratio inside RangeReliable
+	// (default 1.0; lower it to model a uniformly noisy site).
+	PRRMax float64
+	// TurnaroundOverhead is fixed per-frame on-air overhead (preamble,
+	// SFD, CRC) in bytes.
+	TurnaroundOverhead int
+}
+
+// DefaultParams models an indoor industrial 802.15.4 deployment.
+func DefaultParams() Params {
+	return Params{
+		BitRate:            250_000,
+		RangeReliable:      20,
+		RangeMax:           35,
+		PRRMax:             1.0,
+		TurnaroundOverhead: 11, // 802.15.4 PHY+sync overhead
+	}
+}
+
+type nodeState struct {
+	id        NodeID
+	pos       Position
+	recv      Receiver
+	channel   uint8
+	listening bool
+	down      bool
+}
+
+// delivery is one in-flight frame copy headed to one receiver.
+type delivery struct {
+	to        NodeID
+	frame     Frame
+	corrupted bool
+}
+
+// transmission is one in-flight frame with all its deliveries.
+type transmission struct {
+	from    NodeID
+	channel uint8
+	tenant  string
+	start   sim.Time
+	end     sim.Time
+	dels    []*delivery
+}
+
+// Medium is the shared wireless channel set. It is single-threaded and
+// must only be used from the owning simulation kernel's event callbacks.
+type Medium struct {
+	k       *sim.Kernel
+	params  Params
+	nodes   map[NodeID]*nodeState
+	active  []*transmission
+	filter  LinkFilter
+	energy  *metrics.EnergySet
+	reg     *metrics.Registry
+	prrOver map[[2]NodeID]float64
+}
+
+// NewMedium creates a medium on kernel k. reg may be nil, in which case a
+// private registry is created.
+func NewMedium(k *sim.Kernel, p Params, reg *metrics.Registry) *Medium {
+	if p.BitRate <= 0 {
+		panic("radio: BitRate must be positive")
+	}
+	if p.RangeMax < p.RangeReliable {
+		panic("radio: RangeMax < RangeReliable")
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Medium{
+		k:       k,
+		params:  p,
+		nodes:   make(map[NodeID]*nodeState),
+		energy:  metrics.NewEnergySet(metrics.DefaultPowerProfile()),
+		reg:     reg,
+		prrOver: make(map[[2]NodeID]float64),
+	}
+}
+
+// Kernel returns the simulation kernel the medium runs on.
+func (m *Medium) Kernel() *sim.Kernel { return m.k }
+
+// Registry returns the metrics registry used for medium counters.
+func (m *Medium) Registry() *metrics.Registry { return m.reg }
+
+// Energy returns the per-node energy ledgers.
+func (m *Medium) Energy() *metrics.EnergySet { return m.energy }
+
+// Attach registers a node at pos with the given receiver. The node starts
+// on channel 0 with its radio off.
+func (m *Medium) Attach(id NodeID, pos Position, recv Receiver) {
+	if _, dup := m.nodes[id]; dup {
+		panic(fmt.Sprintf("radio: node %d attached twice", id))
+	}
+	if recv == nil {
+		panic("radio: Attach with nil receiver")
+	}
+	m.nodes[id] = &nodeState{id: id, pos: pos, recv: recv}
+}
+
+// SetPosition moves a node (e.g., a mobile asset tag).
+func (m *Medium) SetPosition(id NodeID, pos Position) {
+	m.mustNode(id).pos = pos
+}
+
+// PositionOf returns a node's position.
+func (m *Medium) PositionOf(id NodeID) Position { return m.mustNode(id).pos }
+
+// SetChannel tunes a node's radio.
+func (m *Medium) SetChannel(id NodeID, ch uint8) { m.mustNode(id).channel = ch }
+
+// ChannelOf returns the channel a node is tuned to.
+func (m *Medium) ChannelOf(id NodeID) uint8 { return m.mustNode(id).channel }
+
+// SetListening turns a node's receiver on or off. Only listening nodes
+// receive frames; idle-listening energy is charged by the MAC layer, which
+// owns the duty-cycling policy.
+func (m *Medium) SetListening(id NodeID, on bool) { m.mustNode(id).listening = on }
+
+// Listening reports whether a node's receiver is on.
+func (m *Medium) Listening(id NodeID) bool { return m.mustNode(id).listening }
+
+// SetDown marks a node crashed (true) or recovered (false). Down nodes
+// neither send nor receive.
+func (m *Medium) SetDown(id NodeID, down bool) { m.mustNode(id).down = down }
+
+// Down reports whether the node is crashed.
+func (m *Medium) Down(id NodeID) bool { return m.mustNode(id).down }
+
+// SetLinkFilter installs a delivery veto; nil removes it.
+func (m *Medium) SetLinkFilter(f LinkFilter) { m.filter = f }
+
+// SetLinkPRR overrides the distance-based PRR for the directed link
+// from->to with a fixed value in [0,1]. Use a negative value to remove the
+// override.
+func (m *Medium) SetLinkPRR(from, to NodeID, prr float64) {
+	key := [2]NodeID{from, to}
+	if prr < 0 {
+		delete(m.prrOver, key)
+		return
+	}
+	if prr > 1 {
+		panic(fmt.Sprintf("radio: PRR %v > 1", prr))
+	}
+	m.prrOver[key] = prr
+}
+
+// NodeIDs returns all attached node IDs in ascending order.
+func (m *Medium) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (m *Medium) mustNode(id NodeID) *nodeState {
+	n, ok := m.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("radio: unknown node %d", id))
+	}
+	return n
+}
+
+// PRR returns the packet reception ratio of the directed link from->to
+// under the current model (override, else distance), ignoring collisions.
+func (m *Medium) PRR(from, to NodeID) float64 {
+	if prr, ok := m.prrOver[[2]NodeID{from, to}]; ok {
+		return prr
+	}
+	d := m.mustNode(from).pos.Distance(m.mustNode(to).pos)
+	return m.prrAtDistance(d)
+}
+
+func (m *Medium) prrAtDistance(d float64) float64 {
+	p := m.params
+	switch {
+	case d <= p.RangeReliable:
+		return p.PRRMax
+	case d >= p.RangeMax:
+		return 0
+	default:
+		return p.PRRMax * (p.RangeMax - d) / (p.RangeMax - p.RangeReliable)
+	}
+}
+
+// Airtime returns the on-air duration of a frame of the given payload
+// size in bytes.
+func (m *Medium) Airtime(sizeBytes int) time.Duration {
+	bits := float64(sizeBytes+m.params.TurnaroundOverhead) * 8
+	return time.Duration(bits / m.params.BitRate * float64(time.Second))
+}
+
+// CarrierSense reports whether node id currently hears an ongoing
+// co-channel transmission (for CSMA back-off decisions).
+func (m *Medium) CarrierSense(id NodeID) bool {
+	n := m.mustNode(id)
+	now := m.k.Now()
+	for _, tx := range m.active {
+		if tx.end <= now || tx.channel != n.channel {
+			continue
+		}
+		if m.audible(tx.from, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// audible reports whether from's signal carries to to at all (within
+// RangeMax and not vetoed). Audibility is what matters for interference;
+// successful decoding additionally passes the PRR draw.
+func (m *Medium) audible(from, to NodeID) bool {
+	if from == to {
+		return false
+	}
+	if m.filter != nil && !m.filter(from, to) {
+		return false
+	}
+	if prr, ok := m.prrOver[[2]NodeID{from, to}]; ok {
+		return prr > 0
+	}
+	src, dst := m.mustNode(from), m.mustNode(to)
+	return src.pos.Distance(dst.pos) < m.params.RangeMax
+}
+
+// Send transmits frame f from node f.From. Delivery callbacks fire at the
+// end of the frame's airtime. The return value is the airtime, which the
+// caller's MAC must respect before transmitting again.
+func (m *Medium) Send(f Frame) time.Duration {
+	src := m.mustNode(f.From)
+	if src.down {
+		return 0
+	}
+	if f.Size < len(f.Payload) {
+		f.Size = len(f.Payload)
+	}
+	air := m.Airtime(f.Size)
+	now := m.k.Now()
+	m.reg.Counter("radio.tx_frames").Inc()
+	m.reg.Counter("radio.tx_bytes").Add(float64(f.Size))
+	m.energy.Ledger(int(f.From)).Spend(metrics.StateTx, air)
+
+	tx := &transmission{from: f.From, channel: f.Channel, tenant: f.Tenant, start: now, end: now + air}
+
+	// Mark collisions: any receiver that can hear both this frame and an
+	// already-active co-channel frame decodes neither.
+	for _, other := range m.active {
+		if other.end <= now || other.channel != f.Channel {
+			continue
+		}
+		for _, d := range other.dels {
+			if !d.corrupted && m.audible(f.From, d.to) {
+				d.corrupted = true
+				m.reg.Counter("radio.collisions").Inc()
+				if other.tenant != f.Tenant {
+					m.reg.Counter("radio.collisions_cross_tenant").Inc()
+				}
+			}
+		}
+	}
+
+	for id, n := range m.nodes {
+		if id == f.From || n.down || !n.listening || n.channel != f.Channel {
+			continue
+		}
+		if !m.audible(f.From, id) {
+			continue
+		}
+		// The receiver's radio is busy for the whole frame either way.
+		m.energy.Ledger(int(id)).Spend(metrics.StateRx, air)
+		d := &delivery{to: id, frame: f}
+		// Collision with other concurrently active frames audible here.
+		for _, other := range m.active {
+			if other.end > now && other.channel == f.Channel && m.audible(other.from, id) {
+				d.corrupted = true
+				m.reg.Counter("radio.collisions").Inc()
+				if other.tenant != f.Tenant {
+					m.reg.Counter("radio.collisions_cross_tenant").Inc()
+				}
+				break
+			}
+		}
+		// Stochastic loss from link quality.
+		if !d.corrupted && m.k.Rand().Float64() >= m.PRR(f.From, id) {
+			d.corrupted = true
+			m.reg.Counter("radio.dropped_loss").Inc()
+		}
+		tx.dels = append(tx.dels, d)
+	}
+
+	m.active = append(m.active, tx)
+	m.k.Schedule(air, func() { m.complete(tx) })
+	return air
+}
+
+func (m *Medium) complete(tx *transmission) {
+	// Remove from active list.
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	for _, d := range tx.dels {
+		n := m.nodes[d.to]
+		if n == nil || n.down || !n.listening || n.channel != tx.channel {
+			// Receiver went away mid-frame.
+			m.reg.Counter("radio.dropped_gone").Inc()
+			continue
+		}
+		if d.corrupted {
+			continue
+		}
+		m.reg.Counter("radio.rx_frames").Inc()
+		n.recv.RadioReceive(d.frame)
+	}
+}
+
+// NeighborsOf returns the IDs of nodes within RangeMax of id, nearest
+// first.
+func (m *Medium) NeighborsOf(id NodeID) []NodeID {
+	src := m.mustNode(id)
+	type cand struct {
+		id NodeID
+		d  float64
+	}
+	var cands []cand
+	for oid, n := range m.nodes {
+		if oid == id {
+			continue
+		}
+		d := src.pos.Distance(n.pos)
+		if d < m.params.RangeMax {
+			cands = append(cands, cand{oid, d})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]NodeID, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	return ids
+}

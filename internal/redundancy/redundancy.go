@@ -1,0 +1,222 @@
+// Package redundancy implements the three redundancy types §V-A reviews
+// for the sensing-and-actuation layer (after Johnson [42]):
+//
+//   - information redundancy: XOR parity coding so lost fragments are
+//     reconstructed without retransmission;
+//   - time redundancy: bounded retransmission under a deadline, making
+//     the paper's tension with soft-realtime requirements measurable;
+//   - physical redundancy: replicated sensors with median voting.
+//
+// Strategies operate over an abstract lossy Link so they run against the
+// radio emulation (E7) and against deterministic test doubles alike.
+package redundancy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Link is one attempt-oriented lossy channel: Try transmits one payload
+// and reports whether it arrived. Implementations decide what "arrive"
+// means (MAC ACK in the emulation, a coin flip in tests).
+type Link interface {
+	Try(payload []byte) bool
+}
+
+// LinkFunc adapts a function to Link.
+type LinkFunc func(payload []byte) bool
+
+// Try implements Link.
+func (f LinkFunc) Try(payload []byte) bool { return f(payload) }
+
+// --- information redundancy ---
+
+// ErrUnrecoverable is returned when too many blocks are missing.
+var ErrUnrecoverable = errors.New("redundancy: too many blocks lost")
+
+// XOR parity recovers any single lost block per parity group. Groups of
+// k data blocks carry one parity block (rate k/(k+1)).
+
+// EncodeParity returns the XOR parity of blocks, all of which must share
+// one length.
+func EncodeParity(blocks [][]byte) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, errors.New("redundancy: empty group")
+	}
+	n := len(blocks[0])
+	parity := make([]byte, n)
+	for _, b := range blocks {
+		if len(b) != n {
+			return nil, fmt.Errorf("redundancy: block length %d != %d", len(b), n)
+		}
+		for i, v := range b {
+			parity[i] ^= v
+		}
+	}
+	return parity, nil
+}
+
+// RecoverParity reconstructs the single nil block in blocks using the
+// parity block. It fails if more than one block is missing.
+func RecoverParity(blocks [][]byte, parity []byte) error {
+	missing := -1
+	for i, b := range blocks {
+		if b == nil {
+			if missing >= 0 {
+				return ErrUnrecoverable
+			}
+			missing = i
+		}
+	}
+	if missing < 0 {
+		return nil // nothing to do
+	}
+	rec := append([]byte(nil), parity...)
+	for i, b := range blocks {
+		if i == missing {
+			continue
+		}
+		if len(b) != len(rec) {
+			return fmt.Errorf("redundancy: block length %d != %d", len(b), len(rec))
+		}
+		for j, v := range b {
+			rec[j] ^= v
+		}
+	}
+	blocks[missing] = rec
+	return nil
+}
+
+// SendFEC transmits payload as k equal blocks plus one parity block over
+// lk, then reports whether the receiver (which sees the per-block
+// outcomes) could reconstruct the payload. Each block is tried once: the
+// redundancy is in information, not time.
+func SendFEC(lk Link, payload []byte, k int) (delivered bool, blocksSent int, err error) {
+	if k <= 0 {
+		return false, 0, fmt.Errorf("redundancy: k = %d", k)
+	}
+	blockLen := (len(payload) + k - 1) / k
+	if blockLen == 0 {
+		blockLen = 1
+	}
+	blocks := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		b := make([]byte, blockLen)
+		start := i * blockLen
+		if start < len(payload) {
+			end := start + blockLen
+			if end > len(payload) {
+				end = len(payload)
+			}
+			copy(b, payload[start:end])
+		}
+		blocks[i] = b
+	}
+	parity, err := EncodeParity(blocks)
+	if err != nil {
+		return false, 0, err
+	}
+	received := make([][]byte, k)
+	var parityRx []byte
+	for i, b := range blocks {
+		blocksSent++
+		if lk.Try(b) {
+			received[i] = b
+		}
+	}
+	blocksSent++
+	if lk.Try(parity) {
+		parityRx = parity
+	}
+	lost := 0
+	for _, b := range received {
+		if b == nil {
+			lost++
+		}
+	}
+	switch {
+	case lost == 0:
+		return true, blocksSent, nil
+	case lost == 1 && parityRx != nil:
+		if err := RecoverParity(received, parityRx); err != nil {
+			return false, blocksSent, nil
+		}
+		return true, blocksSent, nil
+	default:
+		return false, blocksSent, nil
+	}
+}
+
+// --- time redundancy ---
+
+// ARQPolicy is bounded retransmission under a latency budget.
+type ARQPolicy struct {
+	// MaxRetries bounds attempts beyond the first.
+	MaxRetries int
+	// AttemptCost is the latency charged per attempt (frame time plus
+	// timeout).
+	AttemptCost time.Duration
+	// Deadline is the soft-realtime budget; attempts stop when the next
+	// try would exceed it.
+	Deadline time.Duration
+}
+
+// Send tries payload under the policy. It reports delivery, the number
+// of attempts, the latency consumed, and whether the deadline was the
+// reason for giving up.
+func (p ARQPolicy) Send(lk Link, payload []byte) (delivered bool, attempts int, spent time.Duration, deadlineHit bool) {
+	for attempts < p.MaxRetries+1 {
+		if p.Deadline > 0 && spent+p.AttemptCost > p.Deadline {
+			return false, attempts, spent, true
+		}
+		attempts++
+		spent += p.AttemptCost
+		if lk.Try(payload) {
+			return true, attempts, spent, false
+		}
+	}
+	return false, attempts, spent, false
+}
+
+// --- physical redundancy ---
+
+// ErrNoQuorum is returned when too few replicated sensors responded.
+var ErrNoQuorum = errors.New("redundancy: not enough sensor readings")
+
+// VoteMedian fuses replicated sensor readings by median, the standard
+// fault-masking vote for analog values: up to (n-1)/2 arbitrarily wrong
+// readings cannot move the median outside the range of correct ones.
+// ok=false entries (failed sensors) are skipped.
+func VoteMedian(readings []float64, valid []bool, minQuorum int) (float64, error) {
+	var vals []float64
+	for i, v := range readings {
+		if valid == nil || valid[i] {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < minQuorum || len(vals) == 0 {
+		return 0, fmt.Errorf("%w: %d of %d required", ErrNoQuorum, len(vals), minQuorum)
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid], nil
+	}
+	// Overflow-safe midpoint: same-sign operands use a+(b-a)/2 (the sum
+	// could overflow), opposite-sign operands use (a+b)/2 (the difference
+	// could overflow). An ±Inf pair has no midpoint; return the lower.
+	a, b := vals[mid-1], vals[mid]
+	var m float64
+	if (a < 0) == (b < 0) {
+		m = a + (b-a)/2
+	} else {
+		m = (a + b) / 2
+	}
+	if math.IsNaN(m) {
+		m = a
+	}
+	return m, nil
+}

@@ -1,0 +1,221 @@
+package redundancy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParityRecoversSingleLoss(t *testing.T) {
+	blocks := [][]byte{[]byte("aaaa"), []byte("bbbb"), []byte("cccc")}
+	parity, err := EncodeParity(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lost := 0; lost < len(blocks); lost++ {
+		damaged := make([][]byte, len(blocks))
+		copy(damaged, blocks)
+		damaged[lost] = nil
+		if err := RecoverParity(damaged, parity); err != nil {
+			t.Fatalf("recover block %d: %v", lost, err)
+		}
+		if !bytes.Equal(damaged[lost], blocks[lost]) {
+			t.Fatalf("block %d reconstructed wrong: %q", lost, damaged[lost])
+		}
+	}
+}
+
+func TestParityDoubleLossUnrecoverable(t *testing.T) {
+	blocks := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc")}
+	parity, _ := EncodeParity(blocks)
+	blocks[0], blocks[2] = nil, nil
+	if err := RecoverParity(blocks, parity); err != ErrUnrecoverable {
+		t.Fatalf("err = %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestParityValidation(t *testing.T) {
+	if _, err := EncodeParity(nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := EncodeParity([][]byte{[]byte("ab"), []byte("abc")}); err == nil {
+		t.Fatal("ragged blocks accepted")
+	}
+	if err := RecoverParity([][]byte{[]byte("ab"), []byte("cd")}, []byte("xy")); err != nil {
+		t.Fatalf("no-loss recover: %v", err)
+	}
+}
+
+func TestPropertyParityRoundTrip(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		if n == 0 {
+			return true
+		}
+		blocks := [][]byte{a[:n], b[:n], c[:n]}
+		parity, err := EncodeParity(blocks)
+		if err != nil {
+			return false
+		}
+		damaged := [][]byte{blocks[0], nil, blocks[2]}
+		if err := RecoverParity(damaged, parity); err != nil {
+			return false
+		}
+		return bytes.Equal(damaged[1], blocks[1])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lossyLink drops deterministically from a seeded RNG.
+func lossyLink(seed int64, prr float64) Link {
+	rng := rand.New(rand.NewSource(seed))
+	return LinkFunc(func([]byte) bool { return rng.Float64() < prr })
+}
+
+func TestSendFECOnPerfectAndDeadLinks(t *testing.T) {
+	ok, sent, err := SendFEC(LinkFunc(func([]byte) bool { return true }), []byte("payload"), 4)
+	if err != nil || !ok || sent != 5 {
+		t.Fatalf("perfect link: ok=%v sent=%d err=%v", ok, sent, err)
+	}
+	ok, _, err = SendFEC(LinkFunc(func([]byte) bool { return false }), []byte("payload"), 4)
+	if err != nil || ok {
+		t.Fatalf("dead link delivered")
+	}
+	if _, _, err := SendFEC(lossyLink(1, 1), []byte("x"), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSendFECBeatsPlainOnLossyLink(t *testing.T) {
+	const trials = 2000
+	const prr = 0.9
+	plainOK, fecOK := 0, 0
+	plain := lossyLink(42, prr)
+	fec := lossyLink(43, prr)
+	for i := 0; i < trials; i++ {
+		// Plain: 4 fragments, all must arrive.
+		all := true
+		for j := 0; j < 4; j++ {
+			if !plain.Try(nil) {
+				all = false
+			}
+		}
+		if all {
+			plainOK++
+		}
+		if ok, _, _ := SendFEC(fec, bytes.Repeat([]byte{1}, 64), 4); ok {
+			fecOK++
+		}
+	}
+	// Analytically: plain ≈ 0.9^4 ≈ 0.656; FEC(4+1, any ≤1 loss) ≈ 0.918.
+	if fecOK <= plainOK {
+		t.Fatalf("FEC %d not better than plain %d", fecOK, plainOK)
+	}
+	if got := float64(fecOK) / trials; math.Abs(got-0.918) > 0.05 {
+		t.Fatalf("FEC delivery = %v, want ≈0.918", got)
+	}
+}
+
+func TestARQDeliversWithinBudget(t *testing.T) {
+	// Fails twice, succeeds on the third try.
+	n := 0
+	lk := LinkFunc(func([]byte) bool { n++; return n >= 3 })
+	p := ARQPolicy{MaxRetries: 5, AttemptCost: 10 * time.Millisecond, Deadline: time.Second}
+	ok, attempts, spent, deadlineHit := p.Send(lk, []byte("x"))
+	if !ok || attempts != 3 || spent != 30*time.Millisecond || deadlineHit {
+		t.Fatalf("ok=%v attempts=%d spent=%v deadline=%v", ok, attempts, spent, deadlineHit)
+	}
+}
+
+func TestARQDeadlineStopsRetries(t *testing.T) {
+	lk := LinkFunc(func([]byte) bool { return false })
+	p := ARQPolicy{MaxRetries: 100, AttemptCost: 30 * time.Millisecond, Deadline: 100 * time.Millisecond}
+	ok, attempts, spent, deadlineHit := p.Send(lk, []byte("x"))
+	if ok || !deadlineHit {
+		t.Fatalf("ok=%v deadlineHit=%v", ok, deadlineHit)
+	}
+	if attempts != 3 || spent != 90*time.Millisecond {
+		t.Fatalf("attempts=%d spent=%v, want 3 within 100ms", attempts, spent)
+	}
+}
+
+func TestARQRetryBudgetExhausted(t *testing.T) {
+	lk := LinkFunc(func([]byte) bool { return false })
+	p := ARQPolicy{MaxRetries: 2, AttemptCost: time.Millisecond, Deadline: time.Hour}
+	ok, attempts, _, deadlineHit := p.Send(lk, []byte("x"))
+	if ok || deadlineHit || attempts != 3 {
+		t.Fatalf("ok=%v attempts=%d deadlineHit=%v", ok, attempts, deadlineHit)
+	}
+}
+
+func TestVoteMedian(t *testing.T) {
+	v, err := VoteMedian([]float64{20.1, 20.3, 99.9}, nil, 2)
+	if err != nil || v != 20.3 {
+		t.Fatalf("median = %v, %v", v, err)
+	}
+	// One faulty sensor (99.9) cannot drag the median outside the
+	// correct readings' range.
+	if v < 20.1 || v > 20.3 {
+		t.Fatalf("faulty sensor moved median to %v", v)
+	}
+	// Even count: mean of middle two.
+	v, err = VoteMedian([]float64{1, 2, 3, 4}, nil, 2)
+	if err != nil || v != 2.5 {
+		t.Fatalf("even median = %v", v)
+	}
+}
+
+func TestVoteMedianSkipsInvalidAndChecksQuorum(t *testing.T) {
+	valid := []bool{true, false, true}
+	v, err := VoteMedian([]float64{10, 999, 12}, valid, 2)
+	if err != nil || v != 11 {
+		t.Fatalf("median = %v, %v", v, err)
+	}
+	if _, err := VoteMedian([]float64{10, 999, 12}, valid, 3); err == nil {
+		t.Fatal("quorum violation accepted")
+	}
+	if _, err := VoteMedian(nil, nil, 0); err == nil {
+		t.Fatal("empty readings accepted")
+	}
+}
+
+func TestPropertyMedianBounded(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true
+			}
+		}
+		m, err := VoteMedian(vals, nil, 1)
+		if err != nil {
+			return false
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

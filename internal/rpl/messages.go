@@ -1,0 +1,123 @@
+package rpl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"iiotds/internal/radio"
+)
+
+// msgType discriminates routing control messages on link.ProtoRouting.
+type msgType byte
+
+const (
+	msgDIO msgType = 1 // DODAG Information Object: version, rank, root
+	msgDAO msgType = 2 // Destination Advertisement Object: downward route
+	msgDIS msgType = 3 // DODAG Information Solicitation
+	// RNFD messages (paper ref [32]).
+	msgSuspect msgType = 4 // a sentinel suspects the root is dead
+	msgVerdict msgType = 5 // collective verdict: root is dead
+)
+
+// InfiniteRank marks a detached node (RPL's INFINITE_RANK).
+const InfiniteRank uint16 = 0xFFFF
+
+// dio is the DODAG beacon.
+type dio struct {
+	Version uint8
+	Rank    uint16
+	Root    radio.NodeID
+}
+
+func (d dio) encode() []byte {
+	buf := make([]byte, 6)
+	buf[0] = byte(msgDIO)
+	buf[1] = d.Version
+	binary.BigEndian.PutUint16(buf[2:4], d.Rank)
+	binary.BigEndian.PutUint16(buf[4:6], uint16(d.Root))
+	return buf
+}
+
+func decodeDIO(raw []byte) (dio, error) {
+	if len(raw) < 6 || msgType(raw[0]) != msgDIO {
+		return dio{}, fmt.Errorf("rpl: bad DIO (%d bytes)", len(raw))
+	}
+	return dio{
+		Version: raw[1],
+		Rank:    binary.BigEndian.Uint16(raw[2:4]),
+		Root:    radio.NodeID(binary.BigEndian.Uint16(raw[4:6])),
+	}, nil
+}
+
+// dao advertises a downward route for Target; forwarded parent-by-parent
+// toward the root in storing mode.
+type dao struct {
+	Target radio.NodeID
+	Seq    uint16
+}
+
+func (d dao) encode() []byte {
+	buf := make([]byte, 5)
+	buf[0] = byte(msgDAO)
+	binary.BigEndian.PutUint16(buf[1:3], uint16(d.Target))
+	binary.BigEndian.PutUint16(buf[3:5], d.Seq)
+	return buf
+}
+
+func decodeDAO(raw []byte) (dao, error) {
+	if len(raw) < 5 || msgType(raw[0]) != msgDAO {
+		return dao{}, fmt.Errorf("rpl: bad DAO (%d bytes)", len(raw))
+	}
+	return dao{
+		Target: radio.NodeID(binary.BigEndian.Uint16(raw[1:3])),
+		Seq:    binary.BigEndian.Uint16(raw[3:5]),
+	}, nil
+}
+
+// suspect is an RNFD sentinel's local suspicion announcement.
+type suspect struct {
+	Sentinel radio.NodeID
+	Epoch    uint8
+}
+
+func (s suspect) encode() []byte {
+	buf := make([]byte, 4)
+	buf[0] = byte(msgSuspect)
+	binary.BigEndian.PutUint16(buf[1:3], uint16(s.Sentinel))
+	buf[3] = s.Epoch
+	return buf
+}
+
+func decodeSuspect(raw []byte) (suspect, error) {
+	if len(raw) < 4 || msgType(raw[0]) != msgSuspect {
+		return suspect{}, fmt.Errorf("rpl: bad suspect (%d bytes)", len(raw))
+	}
+	return suspect{
+		Sentinel: radio.NodeID(binary.BigEndian.Uint16(raw[1:3])),
+		Epoch:    raw[3],
+	}, nil
+}
+
+// verdict is the flooded collective decision that the root is dead.
+type verdict struct {
+	Root  radio.NodeID
+	Epoch uint8
+}
+
+func (v verdict) encode() []byte {
+	buf := make([]byte, 4)
+	buf[0] = byte(msgVerdict)
+	binary.BigEndian.PutUint16(buf[1:3], uint16(v.Root))
+	buf[3] = v.Epoch
+	return buf
+}
+
+func decodeVerdict(raw []byte) (verdict, error) {
+	if len(raw) < 4 || msgType(raw[0]) != msgVerdict {
+		return verdict{}, fmt.Errorf("rpl: bad verdict (%d bytes)", len(raw))
+	}
+	return verdict{
+		Root:  radio.NodeID(binary.BigEndian.Uint16(raw[1:3])),
+		Epoch: raw[3],
+	}, nil
+}

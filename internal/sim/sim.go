@@ -1,0 +1,241 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate on which the multi-node industrial-IoT
+// emulation runs: radios, MACs, routing protocols, and application logic
+// all schedule their work as events on a single virtual clock. Determinism
+// is a design rule (DESIGN.md §5): all randomness flows from one seeded
+// generator owned by the kernel, events at equal timestamps fire in
+// scheduling order, and no component may consult the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of
+// the simulation (t = 0).
+type Time = time.Duration
+
+// Event is a scheduled callback. It is created by the Schedule family of
+// Kernel methods and may be canceled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// At returns the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op. It reports whether the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e.canceled || e.index < 0 {
+		return false
+	}
+	e.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still queued and not canceled.
+func (e *Event) Pending() bool { return e.index >= 0 && !e.canceled }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+// It is not safe for concurrent use: the simulation is single-threaded by
+// construction, which is what makes runs reproducible.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns a kernel whose random generator is seeded with seed.
+// Two kernels constructed with the same seed and driven by the same
+// event program produce identical executions.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random generator. All simulated
+// randomness (link loss, jitter, workload arrivals) must come from here.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired returns the number of events executed so far; useful for tests and
+// runaway detection.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Schedule runs fn after d of virtual time. A negative d is treated as 0
+// (fire as soon as the kernel resumes, after already-queued events at the
+// current instant).
+func (k *Kernel) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped to
+// the current instant.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Every schedules fn to run every interval, starting after the first
+// interval elapses. The returned Repeater can be stopped. If jitter is
+// non-zero, each period is perturbed by a uniform offset in [0, jitter)
+// drawn from the kernel RNG — the standard trick protocols use to avoid
+// synchronization artifacts.
+func (k *Kernel) Every(interval, jitter Time, fn func()) *Repeater {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive interval %v", interval))
+	}
+	r := &Repeater{k: k, interval: interval, jitter: jitter, fn: fn}
+	r.schedule()
+	return r
+}
+
+// Repeater is a periodic event created by Every.
+type Repeater struct {
+	k        *Kernel
+	interval Time
+	jitter   Time
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+func (r *Repeater) schedule() {
+	d := r.interval
+	if r.jitter > 0 {
+		d += Time(r.k.rng.Int63n(int64(r.jitter)))
+	}
+	r.ev = r.k.Schedule(d, func() {
+		if r.stopped {
+			return
+		}
+		r.fn()
+		if !r.stopped {
+			r.schedule()
+		}
+	})
+}
+
+// Stop cancels the repeater. It is idempotent.
+func (r *Repeater) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	if r.ev != nil {
+		r.ev.Cancel()
+	}
+}
+
+// Stop makes the current Run/RunUntil call return once the in-flight event
+// completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	for k.queue.Len() > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		k.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	k.stopped = false
+	for !k.stopped && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t (even if the queue drained earlier or later events remain).
+func (k *Kernel) RunUntil(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		if k.queue.Len() == 0 {
+			break
+		}
+		// Peek.
+		next := k.queue[0]
+		if next.canceled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (k *Kernel) Pending() int { return k.queue.Len() }

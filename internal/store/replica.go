@@ -1,0 +1,360 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"iiotds/internal/clock"
+	"iiotds/internal/crdt"
+	"iiotds/internal/gossip"
+)
+
+// Mode selects the replica's consistency/availability trade-off.
+type Mode int
+
+// Available modes.
+const (
+	// ModeCP is quorum-based: reads and writes require a majority of
+	// replicas and fail (ErrUnavailable) in a minority partition —
+	// consistent but not available under partition.
+	ModeCP Mode = iota
+	// ModeAP is CRDT-based: reads and writes always succeed locally and
+	// anti-entropy gossip converges replicas when connectivity allows —
+	// available but only eventually consistent.
+	ModeAP
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeCP {
+		return "CP"
+	}
+	return "AP"
+}
+
+// ErrUnavailable is returned by CP operations that cannot reach a quorum
+// — Brewer's CAP trade-off made concrete (paper ref [43]).
+var ErrUnavailable = errors.New("store: quorum unavailable")
+
+// ReplicaConfig tunes a replica.
+type ReplicaConfig struct {
+	Mode Mode
+	// ClusterSize is the total number of replicas (for quorum math).
+	ClusterSize int
+	// QuorumTimeout bounds CP operations (default 2 s).
+	QuorumTimeout time.Duration
+	// Gossip tunes AP anti-entropy.
+	Gossip gossip.Config
+}
+
+func (c *ReplicaConfig) applyDefaults() {
+	if c.QuorumTimeout == 0 {
+		c.QuorumTimeout = 2 * time.Second
+	}
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 1
+	}
+}
+
+// versioned is a CP-mode stored value.
+type versioned struct {
+	Val []byte `json:"val"`
+	Ver uint64 `json:"ver"`
+}
+
+// rpc is the CP wire format.
+type rpc struct {
+	Kind  string `json:"kind"` // write | write_ack | read | read_reply
+	ReqID uint64 `json:"req_id"`
+	Key   string `json:"key"`
+	Val   []byte `json:"val,omitempty"`
+	Ver   uint64 `json:"ver"`
+	OK    bool   `json:"ok"`
+}
+
+// pendingOp collects quorum responses.
+type pendingOp struct {
+	needed  int
+	acks    int
+	bestVer uint64
+	bestVal []byte
+	done    func(val []byte, err error)
+	cancel  clock.CancelFunc
+}
+
+// apState is the AP-mode CRDT map; it implements gossip.State.
+type apState struct {
+	mu   sync.Mutex
+	regs map[string]*crdt.LWWRegister
+}
+
+// Snapshot implements gossip.State.
+func (s *apState) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(s.regs)
+}
+
+// Merge implements gossip.State.
+func (s *apState) Merge(remote []byte) error {
+	var in map[string]*crdt.LWWRegister
+	if err := json.Unmarshal(remote, &in); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, r := range in {
+		cur, ok := s.regs[k]
+		if !ok {
+			cur = crdt.NewLWWRegister()
+			s.regs[k] = cur
+		}
+		cur.Merge(r)
+	}
+	return nil
+}
+
+// Replica is one node of the replicated key-value store.
+type Replica struct {
+	cfg   ReplicaConfig
+	msg   gossip.Messenger
+	sched clock.Scheduler
+	id    crdt.ReplicaID
+
+	mu      sync.Mutex
+	cp      map[string]versioned
+	ap      *apState
+	engine  *gossip.Engine
+	nextReq uint64
+	pending map[uint64]*pendingOp
+
+	// Stats for the CAP experiment.
+	OpsOK     int
+	OpsFailed int
+}
+
+// NewReplica creates a replica named by msg.Self().
+func NewReplica(msg gossip.Messenger, sched clock.Scheduler, cfg ReplicaConfig) *Replica {
+	cfg.applyDefaults()
+	r := &Replica{
+		cfg:     cfg,
+		msg:     msg,
+		sched:   sched,
+		id:      crdt.ReplicaID(msg.Self()),
+		cp:      make(map[string]versioned),
+		ap:      &apState{regs: make(map[string]*crdt.LWWRegister)},
+		pending: make(map[uint64]*pendingOp),
+	}
+	if cfg.Mode == ModeAP {
+		r.engine = gossip.New(msg, sched, r.ap, cfg.Gossip)
+		r.engine.Start()
+	} else {
+		msg.SetReceiver(r.onCPMessage)
+	}
+	return r
+}
+
+// Stop halts background activity.
+func (r *Replica) Stop() {
+	if r.engine != nil {
+		r.engine.Stop()
+	}
+}
+
+// Mode returns the replica's mode.
+func (r *Replica) Mode() Mode { return r.cfg.Mode }
+
+// Gossip returns the AP anti-entropy engine (nil in CP mode).
+func (r *Replica) Gossip() *gossip.Engine { return r.engine }
+
+// quorum returns the majority size for the configured cluster.
+func (r *Replica) quorum() int { return r.cfg.ClusterSize/2 + 1 }
+
+// Put stores key=val. done receives nil on success or ErrUnavailable.
+func (r *Replica) Put(key string, val []byte, done func(err error)) {
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		reg, ok := r.ap.regs[key]
+		if !ok {
+			reg = crdt.NewLWWRegister()
+			r.ap.regs[key] = reg
+		}
+		reg.Set(int64(r.sched.Now()), r.id, val)
+		r.ap.mu.Unlock()
+		r.mu.Lock()
+		r.OpsOK++
+		r.mu.Unlock()
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	r.mu.Lock()
+	r.nextReq++
+	reqID := r.nextReq
+	ver := r.cp[key].Ver + 1
+	r.cp[key] = versioned{Val: append([]byte(nil), val...), Ver: ver}
+	op := &pendingOp{needed: r.quorum() - 1, done: func(_ []byte, err error) {
+		r.finishOp(err == nil)
+		if done != nil {
+			done(err)
+		}
+	}}
+	if op.needed <= 0 {
+		delete(r.pending, reqID)
+		r.mu.Unlock()
+		r.finishOp(true)
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	r.pending[reqID] = op
+	op.cancel = r.sched.Schedule(r.cfg.QuorumTimeout, func() { r.timeoutOp(reqID) })
+	r.mu.Unlock()
+
+	out, _ := json.Marshal(rpc{Kind: "write", ReqID: reqID, Key: key, Val: val, Ver: ver})
+	for _, p := range r.msg.Peers() {
+		_ = r.msg.Send(p, out)
+	}
+}
+
+// Get reads key. done receives the value (nil if absent) or
+// ErrUnavailable in CP mode without quorum.
+func (r *Replica) Get(key string, done func(val []byte, err error)) {
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		var val []byte
+		if reg, ok := r.ap.regs[key]; ok {
+			val = append([]byte(nil), reg.Value()...)
+		}
+		r.ap.mu.Unlock()
+		r.mu.Lock()
+		r.OpsOK++
+		r.mu.Unlock()
+		done(val, nil)
+		return
+	}
+	r.mu.Lock()
+	r.nextReq++
+	reqID := r.nextReq
+	local := r.cp[key]
+	op := &pendingOp{
+		needed:  r.quorum() - 1,
+		bestVer: local.Ver,
+		bestVal: local.Val,
+		done: func(val []byte, err error) {
+			r.finishOp(err == nil)
+			done(val, err)
+		},
+	}
+	if op.needed <= 0 {
+		delete(r.pending, reqID)
+		r.mu.Unlock()
+		r.finishOp(true)
+		done(local.Val, nil)
+		return
+	}
+	r.pending[reqID] = op
+	op.cancel = r.sched.Schedule(r.cfg.QuorumTimeout, func() { r.timeoutOp(reqID) })
+	r.mu.Unlock()
+
+	out, _ := json.Marshal(rpc{Kind: "read", ReqID: reqID, Key: key})
+	for _, p := range r.msg.Peers() {
+		_ = r.msg.Send(p, out)
+	}
+}
+
+func (r *Replica) finishOp(ok bool) {
+	r.mu.Lock()
+	if ok {
+		r.OpsOK++
+	} else {
+		r.OpsFailed++
+	}
+	r.mu.Unlock()
+}
+
+func (r *Replica) timeoutOp(reqID uint64) {
+	r.mu.Lock()
+	op, ok := r.pending[reqID]
+	if ok {
+		delete(r.pending, reqID)
+	}
+	r.mu.Unlock()
+	if ok {
+		op.done(nil, ErrUnavailable)
+	}
+}
+
+func (r *Replica) onCPMessage(from string, data []byte) {
+	var m rpc
+	if err := json.Unmarshal(data, &m); err != nil {
+		return
+	}
+	switch m.Kind {
+	case "write":
+		r.mu.Lock()
+		cur := r.cp[m.Key]
+		if m.Ver > cur.Ver {
+			r.cp[m.Key] = versioned{Val: m.Val, Ver: m.Ver}
+		}
+		r.mu.Unlock()
+		out, _ := json.Marshal(rpc{Kind: "write_ack", ReqID: m.ReqID, Key: m.Key, OK: true})
+		_ = r.msg.Send(from, out)
+	case "read":
+		r.mu.Lock()
+		cur := r.cp[m.Key]
+		r.mu.Unlock()
+		out, _ := json.Marshal(rpc{Kind: "read_reply", ReqID: m.ReqID, Key: m.Key, Val: cur.Val, Ver: cur.Ver, OK: true})
+		_ = r.msg.Send(from, out)
+	case "write_ack", "read_reply":
+		r.mu.Lock()
+		op, ok := r.pending[m.ReqID]
+		if !ok {
+			r.mu.Unlock()
+			return
+		}
+		op.acks++
+		if m.Kind == "read_reply" && m.Ver > op.bestVer {
+			op.bestVer = m.Ver
+			op.bestVal = m.Val
+		}
+		finished := op.acks >= op.needed
+		if finished {
+			delete(r.pending, m.ReqID)
+			if op.cancel != nil {
+				op.cancel()
+			}
+		}
+		val := op.bestVal
+		r.mu.Unlock()
+		if finished {
+			op.done(val, nil)
+		}
+	}
+}
+
+// LocalValue returns the replica's local view of key (either mode),
+// bypassing quorum — used to check convergence in experiments.
+func (r *Replica) LocalValue(key string) []byte {
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		defer r.ap.mu.Unlock()
+		if reg, ok := r.ap.regs[key]; ok {
+			return append([]byte(nil), reg.Value()...)
+		}
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.cp[key].Val...)
+}
+
+// String describes the replica.
+func (r *Replica) String() string {
+	return fmt.Sprintf("replica(%s, %s)", r.msg.Self(), r.cfg.Mode)
+}

@@ -1,0 +1,244 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"iiotds/internal/clock"
+	"iiotds/internal/gossip"
+	"iiotds/internal/sim"
+)
+
+// --- time series ---
+
+func TestSeriesAppendAndLast(t *testing.T) {
+	s := NewSeries(4)
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty series has a last point")
+	}
+	for i := 1; i <= 3; i++ {
+		s.Append(Point{T: time.Duration(i) * time.Second, V: float64(i)})
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 3 {
+		t.Fatalf("Last = %+v", last)
+	}
+	if s.Len() != 3 || s.Total() != 3 {
+		t.Fatalf("Len/Total = %d/%d", s.Len(), s.Total())
+	}
+}
+
+func TestSeriesRingEviction(t *testing.T) {
+	s := NewSeries(3)
+	for i := 1; i <= 5; i++ {
+		s.Append(Point{T: time.Duration(i) * time.Second, V: float64(i)})
+	}
+	if s.Len() != 3 || s.Total() != 5 {
+		t.Fatalf("Len/Total = %d/%d", s.Len(), s.Total())
+	}
+	pts := s.Range(0, time.Hour)
+	if len(pts) != 3 || pts[0].V != 3 || pts[2].V != 5 {
+		t.Fatalf("Range = %+v", pts)
+	}
+	mean, ok := s.Mean()
+	if !ok || mean != 4 {
+		t.Fatalf("Mean = %v", mean)
+	}
+}
+
+func TestSeriesRangeBounds(t *testing.T) {
+	s := NewSeries(10)
+	for i := 0; i < 10; i++ {
+		s.Append(Point{T: time.Duration(i) * time.Second, V: float64(i)})
+	}
+	got := s.Range(3*time.Second, 6*time.Second)
+	if len(got) != 3 || got[0].V != 3 || got[2].V != 5 {
+		t.Fatalf("Range = %+v", got)
+	}
+}
+
+func TestSeriesZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSeries(0)
+}
+
+func TestTSDB(t *testing.T) {
+	db := NewTSDB(8)
+	db.Series("plant/temp").Append(Point{V: 20})
+	db.Series("plant/rpm").Append(Point{V: 900})
+	if db.Series("plant/temp") != db.Series("plant/temp") {
+		t.Fatal("series identity unstable")
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "plant/rpm" || names[1] != "plant/temp" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+// --- replicated KV ---
+
+type cluster struct {
+	k        *sim.Kernel
+	net      *gossip.Network
+	replicas []*Replica
+}
+
+func newCluster(t *testing.T, mode Mode, n int) *cluster {
+	t.Helper()
+	k := sim.New(3)
+	net := gossip.NewNetwork()
+	c := &cluster{k: k, net: net}
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		r := NewReplica(net.Attach(name), clock.Kernel{K: k}, ReplicaConfig{
+			Mode:        mode,
+			ClusterSize: n,
+			Gossip:      gossip.Config{Interval: time.Second, Seed: int64(i + 1)},
+		})
+		c.replicas = append(c.replicas, r)
+	}
+	return c
+}
+
+func TestCPPutGetQuorum(t *testing.T) {
+	c := newCluster(t, ModeCP, 3)
+	var putErr error = errNotCalled
+	c.replicas[0].Put("k", []byte("v1"), func(err error) { putErr = err })
+	c.k.RunFor(time.Second)
+	if putErr != nil {
+		t.Fatalf("Put err = %v", putErr)
+	}
+	var got []byte
+	var getErr error = errNotCalled
+	c.replicas[1].Get("k", func(val []byte, err error) { got, getErr = val, err })
+	c.k.RunFor(time.Second)
+	if getErr != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, getErr)
+	}
+}
+
+var errNotCalled = ErrUnavailable // sentinel reused; distinct value not needed
+
+func TestCPMinorityPartitionUnavailable(t *testing.T) {
+	c := newCluster(t, ModeCP, 5)
+	// a,b in minority; c,d,e in majority.
+	c.net.SetPartition([]string{"a", "b"}, []string{"c", "d", "e"})
+	var minorityErr, majorityErr error
+	called := 0
+	c.replicas[0].Put("k", []byte("x"), func(err error) { minorityErr = err; called++ })
+	c.replicas[2].Put("k", []byte("y"), func(err error) { majorityErr = err; called++ })
+	c.k.RunFor(time.Minute)
+	if called != 2 {
+		t.Fatalf("callbacks = %d", called)
+	}
+	if minorityErr != ErrUnavailable {
+		t.Fatalf("minority Put err = %v, want ErrUnavailable", minorityErr)
+	}
+	if majorityErr != nil {
+		t.Fatalf("majority Put err = %v, want nil", majorityErr)
+	}
+	if c.replicas[0].OpsFailed != 1 || c.replicas[2].OpsOK != 1 {
+		t.Fatalf("stats: failed=%d ok=%d", c.replicas[0].OpsFailed, c.replicas[2].OpsOK)
+	}
+}
+
+func TestCPReadReturnsNewestVersion(t *testing.T) {
+	c := newCluster(t, ModeCP, 3)
+	c.replicas[0].Put("k", []byte("v1"), nil)
+	c.k.RunFor(time.Second)
+	c.replicas[1].Put("k", []byte("v2"), nil)
+	c.k.RunFor(time.Second)
+	var got []byte
+	c.replicas[2].Get("k", func(val []byte, err error) { got = val })
+	c.k.RunFor(time.Second)
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q, want v2", got)
+	}
+}
+
+func TestAPAlwaysAvailableUnderPartition(t *testing.T) {
+	c := newCluster(t, ModeAP, 4)
+	c.net.SetPartition([]string{"a", "b"}, []string{"c", "d"})
+	okPuts := 0
+	for i, r := range c.replicas {
+		r.Put("k", []byte{byte('0' + i)}, func(err error) {
+			if err == nil {
+				okPuts++
+			}
+		})
+	}
+	c.k.RunFor(10 * time.Second)
+	if okPuts != 4 {
+		t.Fatalf("AP puts ok = %d/4 under partition", okPuts)
+	}
+	// Reads succeed locally too.
+	reads := 0
+	for _, r := range c.replicas {
+		r.Get("k", func(val []byte, err error) {
+			if err == nil {
+				reads++
+			}
+		})
+	}
+	c.k.RunFor(time.Second)
+	if reads != 4 {
+		t.Fatalf("AP reads ok = %d/4", reads)
+	}
+}
+
+func TestAPConvergesAfterHeal(t *testing.T) {
+	c := newCluster(t, ModeAP, 4)
+	c.net.SetPartition([]string{"a", "b"}, []string{"c", "d"})
+	c.k.RunFor(time.Second)
+	c.replicas[0].Put("k", []byte("left"), nil)
+	c.k.RunFor(2 * time.Second)
+	c.replicas[2].Put("k", []byte("right"), nil) // later write wins (LWW)
+	c.k.RunFor(10 * time.Second)
+	c.net.Heal()
+	c.k.RunFor(30 * time.Second)
+	want := c.replicas[0].LocalValue("k")
+	if string(want) != "right" {
+		t.Fatalf("converged value = %q, want right (later write)", want)
+	}
+	for i, r := range c.replicas {
+		if got := r.LocalValue("k"); string(got) != string(want) {
+			t.Fatalf("replica %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestAPGetMissingKey(t *testing.T) {
+	c := newCluster(t, ModeAP, 2)
+	var got []byte = []byte("sentinel")
+	c.replicas[0].Get("nope", func(val []byte, err error) { got = val })
+	c.k.RunFor(time.Second)
+	if got != nil {
+		t.Fatalf("missing key = %q, want nil", got)
+	}
+}
+
+func TestSingleReplicaCPWorksAlone(t *testing.T) {
+	c := newCluster(t, ModeCP, 1)
+	var err error = errNotCalled
+	c.replicas[0].Put("k", []byte("v"), func(e error) { err = e })
+	c.k.RunFor(time.Second)
+	if err != nil {
+		t.Fatalf("solo Put err = %v", err)
+	}
+	var got []byte
+	c.replicas[0].Get("k", func(val []byte, e error) { got = val })
+	c.k.RunFor(time.Second)
+	if string(got) != "v" {
+		t.Fatalf("solo Get = %q", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeCP.String() != "CP" || ModeAP.String() != "AP" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,142 @@
+// Package store is the data-storage tier of the three-layer architecture
+// (Fig. 1): a bounded time-series store for telemetry and a replicated
+// key-value store that can run in CP (quorum) or AP (CRDT) mode — the two
+// ends of the CAP trade-off §V-C analyzes for always-on industrial
+// systems.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one telemetry sample.
+type Point struct {
+	T time.Duration // virtual or wall time since start
+	V float64
+}
+
+// Series is a bounded in-memory time series (ring buffer). The zero
+// value is not usable; create with NewSeries.
+type Series struct {
+	mu    sync.Mutex
+	cap   int
+	pts   []Point
+	start int
+	count int
+	total uint64
+}
+
+// NewSeries creates a series retaining the most recent capacity points.
+func NewSeries(capacity int) *Series {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("store: series capacity %d", capacity))
+	}
+	return &Series{cap: capacity, pts: make([]Point, capacity)}
+}
+
+// Append records a sample. Samples should arrive in time order; the store
+// does not sort.
+func (s *Series) Append(p Point) {
+	s.mu.Lock()
+	idx := (s.start + s.count) % s.cap
+	if s.count == s.cap {
+		s.pts[s.start] = p
+		s.start = (s.start + 1) % s.cap
+	} else {
+		s.pts[idx] = p
+		s.count++
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Len returns the number of retained points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Total returns the number of points ever appended.
+func (s *Series) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Last returns the most recent point, if any.
+func (s *Series) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return Point{}, false
+	}
+	return s.pts[(s.start+s.count-1)%s.cap], true
+}
+
+// Range returns the retained points with from <= T < to, oldest first.
+func (s *Series) Range(from, to time.Duration) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Point
+	for i := 0; i < s.count; i++ {
+		p := s.pts[(s.start+i)%s.cap]
+		if p.T >= from && p.T < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mean returns the mean of retained values, or false when empty.
+func (s *Series) Mean() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0, false
+	}
+	var sum float64
+	for i := 0; i < s.count; i++ {
+		sum += s.pts[(s.start+i)%s.cap].V
+	}
+	return sum / float64(s.count), true
+}
+
+// TSDB is a set of named series with a shared per-series capacity.
+type TSDB struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*Series
+}
+
+// NewTSDB creates a store whose series retain capacity points each.
+func NewTSDB(capacity int) *TSDB {
+	return &TSDB{capacity: capacity, series: make(map[string]*Series)}
+}
+
+// Series returns (creating if needed) the named series.
+func (db *TSDB) Series(name string) *Series {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[name]
+	if !ok {
+		s = NewSeries(db.capacity)
+		db.series[name] = s
+	}
+	return s
+}
+
+// Names returns all series names, sorted.
+func (db *TSDB) Names() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.series))
+	for n := range db.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
