@@ -22,13 +22,8 @@ import (
 // benchExperiment runs one experiment harness per iteration.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	var runner exp.Runner
-	for _, r := range exp.All() {
-		if r.ID == id {
-			runner = r
-		}
-	}
-	if runner.Run == nil {
+	runner, ok := exp.ByID(id)
+	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	b.ReportAllocs()

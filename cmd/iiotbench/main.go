@@ -1,22 +1,44 @@
 // Command iiotbench runs the experiment suite (DESIGN.md §3) and prints
 // each experiment's table — the reproduction's equivalent of regenerating
-// the paper's figures. With -markdown it emits the EXPERIMENTS.md body.
+// the paper's figures. With -markdown it emits the EXPERIMENTS.md body;
+// with -json it emits a machine-readable report including each table's
+// kernel statistics and wall time. -parallel bounds the worker goroutines
+// the trial runner fans out over; tables are byte-identical at every
+// setting (the runner merges trial results in deterministic order).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"iiotds/internal/exp"
 )
 
+// report is the -json output document.
+type report struct {
+	Scale       string      `json:"scale"`
+	Parallel    int         `json:"parallel"`
+	GoMaxProcs  int         `json:"gomaxprocs"`
+	WallSeconds float64     `json:"wall_seconds"`
+	Experiments []expResult `json:"experiments"`
+}
+
+type expResult struct {
+	*exp.Table
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (e.g. E5,E9); empty = all")
 	markdown := flag.Bool("markdown", false, "emit markdown (EXPERIMENTS.md body) instead of tables")
+	jsonOut := flag.Bool("json", false, "emit a JSON report (tables + kernel stats + wall times)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker goroutines per experiment (<=1 = sequential)")
 	flag.Parse()
 
 	scale := exp.Quick
@@ -29,34 +51,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	want := map[string]bool{}
-	if *only != "" {
+	exp.SetParallelism(*parallel)
+
+	var runners []exp.Runner
+	if *only == "" {
+		runners = exp.All()
+	} else {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToUpper(id))] = true
+			r, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "iiotbench: unknown experiment %q\n", strings.TrimSpace(id))
+				os.Exit(2)
+			}
+			runners = append(runners, r)
 		}
 	}
 
+	rep := report{Scale: *scaleFlag, Parallel: exp.Parallelism(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	start := time.Now()
-	ran := 0
-	for _, r := range exp.All() {
-		if len(want) > 0 && !want[r.ID] {
-			continue
-		}
-		ran++
+	for _, r := range runners {
 		t0 := time.Now()
 		table := r.Run(scale)
-		if *markdown {
+		wall := time.Since(t0).Seconds()
+		rep.Experiments = append(rep.Experiments, expResult{Table: table, WallSeconds: wall})
+		switch {
+		case *jsonOut:
+			// Collected; emitted once at the end.
+		case *markdown:
 			fmt.Println(table.Markdown())
-		} else {
+		default:
 			fmt.Println(table.String())
-			fmt.Printf("(wall time %.1fs)\n\n", time.Since(t0).Seconds())
+			fmt.Printf("(wall time %.1fs)\n\n", wall)
 		}
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "iiotbench: no experiments matched %q\n", *only)
-		os.Exit(2)
+	rep.WallSeconds = time.Since(start).Seconds()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "iiotbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if !*markdown {
-		fmt.Printf("ran %d experiments at scale=%s in %.1fs\n", ran, *scaleFlag, time.Since(start).Seconds())
+		fmt.Printf("ran %d experiments at scale=%s parallel=%d in %.1fs\n",
+			len(rep.Experiments), *scaleFlag, exp.Parallelism(), rep.WallSeconds)
 	}
 }

@@ -133,7 +133,7 @@ type queryState struct {
 	depth   int
 	pending PSR
 	epochNo uint32
-	timer   *sim.Event
+	timer   sim.Event
 }
 
 // floodMsg disseminates a query.
@@ -193,9 +193,7 @@ func (n *Node) RunQuery(q Query) {
 // stop is by epoch timeout in a full system and omitted here).
 func (n *Node) StopQuery(id uint16) {
 	if st, ok := n.queries[id]; ok {
-		if st.timer != nil {
-			st.timer.Cancel()
-		}
+		st.timer.Cancel()
 		delete(n.queries, id)
 	}
 }

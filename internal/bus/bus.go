@@ -9,6 +9,7 @@ package bus
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -42,6 +43,7 @@ type Broker struct {
 	retained map[string]Message
 	nextID   uint64
 	closed   bool
+	sync     bool
 	wg       sync.WaitGroup
 
 	// Published and Delivered count routing activity.
@@ -49,12 +51,26 @@ type Broker struct {
 	Delivered uint64
 }
 
-// NewBroker returns a running broker.
+// NewBroker returns a running broker. Each subscriber gets a dedicated
+// delivery goroutine with a bounded queue (production semantics: one
+// slow consumer cannot block the rest).
 func NewBroker() *Broker {
 	return &Broker{
 		subs:     make(map[uint64]*subscription),
 		retained: make(map[string]Message),
 	}
+}
+
+// NewSyncBroker returns a broker that delivers every message inline on
+// the publisher's goroutine, in subscription order, before Publish
+// returns. This is the mode simulated deployments use: handlers run on
+// the simulation thread, so they may touch the (single-threaded) event
+// kernel, and delivery order is deterministic. Handlers may publish
+// recursively; no queues exist, so nothing is ever dropped.
+func NewSyncBroker() *Broker {
+	b := NewBroker()
+	b.sync = true
+	return b
 }
 
 // Subscription identifies an active subscription for cancellation.
@@ -96,21 +112,41 @@ func (b *Broker) Subscribe(pattern string, handler Handler) (*Subscription, erro
 		done:    make(chan struct{}),
 	}
 	b.subs[sub.id] = sub
-	// Replay retained messages that match.
-	var replay []Message
-	for _, m := range b.retained {
+	// Replay retained messages that match, in deterministic topic order.
+	var topics []string
+	for topic, m := range b.retained {
 		if topicMatches(sub.pattern, strings.Split(m.Topic, "/")) {
-			replay = append(replay, m)
+			topics = append(topics, topic)
 		}
 	}
-	b.wg.Add(1)
-	go b.pump(sub)
+	sort.Strings(topics)
+	replay := make([]Message, 0, len(topics))
+	for _, topic := range topics {
+		replay = append(replay, b.retained[topic])
+	}
+	if !b.sync {
+		b.wg.Add(1)
+		go b.pump(sub)
+	}
 	b.mu.Unlock()
 
 	for _, m := range replay {
-		b.enqueue(sub, m)
+		b.deliver(sub, m)
 	}
 	return &Subscription{id: sub.id, broker: b}, nil
+}
+
+// deliver hands m to sub via the broker's delivery discipline: inline on
+// the caller in sync mode, through the bounded queue otherwise.
+func (b *Broker) deliver(sub *subscription, m Message) {
+	if b.sync {
+		sub.handler(m)
+		b.mu.Lock()
+		b.Delivered++
+		b.mu.Unlock()
+		return
+	}
+	b.enqueue(sub, m)
 }
 
 func (b *Broker) pump(sub *subscription) {
@@ -177,9 +213,12 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 			targets = append(targets, sub)
 		}
 	}
+	// Deliver in subscription order so inline (sync) delivery is
+	// deterministic regardless of map iteration.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
 	b.mu.Unlock()
 	for _, sub := range targets {
-		b.enqueue(sub, m)
+		b.deliver(sub, m)
 	}
 	return nil
 }

@@ -227,3 +227,97 @@ func splitPat(s string) []string {
 	}
 	return out
 }
+
+// --- synchronous (inline-delivery) mode ---
+
+func TestSyncDeliveryInline(t *testing.T) {
+	b := NewSyncBroker()
+	defer b.Close()
+	var got []string
+	if _, err := b.Subscribe("a/#", func(m Message) {
+		got = append(got, m.Topic+"="+string(m.Payload))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Inline mode: the handler has run before Publish returns, so no
+	// synchronization or waiting is needed.
+	if err := b.Publish("a/b", []byte("1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("a/c", []byte("2"), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a/b=1" || got[1] != "a/c=2" {
+		t.Fatalf("inline delivery got %v", got)
+	}
+	if b.Delivered != 2 {
+		t.Fatalf("Delivered = %d, want 2", b.Delivered)
+	}
+}
+
+func TestSyncSubscriptionOrder(t *testing.T) {
+	b := NewSyncBroker()
+	defer b.Close()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := b.Subscribe("t", func(Message) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Publish("t", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("delivery order %v, want subscription order", order)
+		}
+	}
+}
+
+func TestSyncRecursivePublish(t *testing.T) {
+	b := NewSyncBroker()
+	defer b.Close()
+	var got []string
+	if _, err := b.Subscribe("chain/+", func(m Message) {
+		got = append(got, m.Topic)
+		if m.Topic == "chain/a" {
+			// A handler may publish from inside delivery.
+			if err := b.Publish("chain/b", nil, false); err != nil {
+				t.Errorf("recursive publish: %v", err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("chain/a", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "chain/a" || got[1] != "chain/b" {
+		t.Fatalf("recursive delivery got %v", got)
+	}
+}
+
+func TestSyncRetainedReplayInline(t *testing.T) {
+	b := NewSyncBroker()
+	defer b.Close()
+	if err := b.Publish("r/b", []byte("2"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("r/a", []byte("1"), true); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if _, err := b.Subscribe("r/#", func(m Message) {
+		if !m.Retained {
+			t.Errorf("replayed message %q not marked retained", m.Topic)
+		}
+		got = append(got, m.Topic)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Replay happens inline during Subscribe, in sorted topic order.
+	if len(got) != 2 || got[0] != "r/a" || got[1] != "r/b" {
+		t.Fatalf("retained replay got %v, want [r/a r/b]", got)
+	}
+}

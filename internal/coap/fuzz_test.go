@@ -1,0 +1,95 @@
+package coap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedMessages returns marshaled messages covering the header,
+// token, option-delta, and payload encoding paths.
+func fuzzSeedMessages(f *testing.F) [][]byte {
+	f.Helper()
+	var seeds [][]byte
+	mk := func(m *Message) {
+		data, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, data)
+	}
+	mk(&Message{Type: Confirmable, Code: CodeGET, MessageID: 1})
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 7, Token: []byte{1, 2, 3, 4}}
+	m.SetPath("sensors/temp/1")
+	m.AddUintOption(OptContentFormat, FormatJSON)
+	mk(m)
+	m2 := &Message{Type: NonConfirmable, Code: CodePOST, MessageID: 65535, Payload: []byte(`{"v":21.5}`)}
+	m2.SetPath("a")
+	mk(m2)
+	return seeds
+}
+
+// FuzzUnmarshal throws arbitrary bytes at the wire parser. Whatever
+// parses must survive a Marshal/Unmarshal round trip unchanged — the
+// parser and serializer agree on every message the parser accepts.
+func FuzzUnmarshal(f *testing.F) {
+	for _, s := range fuzzSeedMessages(f) {
+		f.Add(s)
+		f.Add(s[:len(s)-1])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x40})
+	f.Add([]byte{0x4F, 0x01, 0x00, 0x01}) // token length 15 (reserved)
+	f.Add([]byte{0x40, 0x01, 0x00, 0x01, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v (%+v)", err, m)
+		}
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshaled bytes failed to parse: %v", err)
+		}
+		if m.Type != m2.Type || m.Code != m2.Code || m.MessageID != m2.MessageID ||
+			!bytes.Equal(m.Token, m2.Token) || !bytes.Equal(m.Payload, m2.Payload) ||
+			len(m.Options) != len(m2.Options) {
+			t.Fatalf("round trip changed message:\n first %+v\nsecond %+v", m, m2)
+		}
+		for i := range m.Options {
+			if m.Options[i].ID != m2.Options[i].ID || !bytes.Equal(m.Options[i].Value, m2.Options[i].Value) {
+				t.Fatalf("option %d changed: %+v vs %+v", i, m.Options[i], m2.Options[i])
+			}
+		}
+	})
+}
+
+// FuzzMarshalRoundTrip builds messages from fuzzed fields and checks
+// that anything Marshal accepts comes back identical through Unmarshal.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	f.Add(byte(0), byte(1), uint16(7), []byte{1, 2}, "sensors/temp", []byte(`21.5`))
+	f.Add(byte(1), byte(69), uint16(0), []byte{}, "", []byte{})
+	f.Add(byte(2), byte(132), uint16(65535), []byte{1, 2, 3, 4, 5, 6, 7, 8}, "a/b/c/d", bytes.Repeat([]byte{0xAB}, 64))
+
+	f.Fuzz(func(t *testing.T, typ, code byte, mid uint16, token []byte, path string, payload []byte) {
+		m := &Message{Type: Type(typ % 4), Code: Code(code), MessageID: mid, Token: token, Payload: payload}
+		if path != "" {
+			m.SetPath(path)
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			return // invalid field combinations are rejected by contract
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("Marshal output failed to parse: %v", err)
+		}
+		if got.Type != m.Type || got.Code != m.Code || got.MessageID != m.MessageID ||
+			!bytes.Equal(got.Token, m.Token) || !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("round trip changed message:\n  sent %+v\n   got %+v", m, got)
+		}
+	})
+}

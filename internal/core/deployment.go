@@ -136,7 +136,12 @@ func NewDeployment(cfg Config) *Deployment {
 	m := radio.NewMedium(k, cfg.Radio, reg)
 	d := &Deployment{K: k, M: m, Reg: reg, cfg: cfg}
 	if cfg.WithBackend {
-		d.Bus = bus.NewBroker()
+		// The broker delivers inline on the simulation thread: bus
+		// handlers routinely re-enter the kernel (schedule CoAP traffic,
+		// read the virtual clock), which is single-threaded by
+		// construction, and inline delivery keeps the whole deployment
+		// deterministic (DESIGN.md §5).
+		d.Bus = bus.NewSyncBroker()
 		d.TSDB = store.NewTSDB(4096)
 		d.Registry = registry.New()
 	}

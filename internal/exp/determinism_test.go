@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"testing"
+)
+
+// render flattens a table to the exact bytes a user sees; byte equality
+// of this string is the determinism contract under test.
+func render(t *Table) string { return t.String() + "\n" + t.Markdown() }
+
+// TestDeterminismSameSeedSameTable runs every registered experiment twice
+// at Quick scale (each harness carries its own fixed seed) and asserts
+// the rendered tables are byte-identical — the DESIGN.md §5 regression
+// gate.
+func TestDeterminismSameSeedSameTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			a := render(r.Run(Quick))
+			b := render(r.Run(Quick))
+			if a != b {
+				t.Fatalf("two runs of %s differ:\n--- first ---\n%s\n--- second ---\n%s", r.ID, a, b)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequential proves the tentpole property: for every
+// experiment, the table produced with the trial fan-out across all cores
+// is byte-identical to the one produced by a single sequential worker.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	// Parallelism is a package global, so the two configurations must not
+	// interleave; run every experiment sequentially at 1 worker first.
+	seq := map[string]string{}
+	stats := map[string]RunStats{}
+	SetParallelism(1)
+	for _, r := range All() {
+		tab := r.Run(Quick)
+		seq[r.ID] = render(tab)
+		stats[r.ID] = tab.Stats
+	}
+	SetParallelism(0) // default: GOMAXPROCS
+	defer SetParallelism(0)
+	for _, r := range All() {
+		tab := r.Run(Quick)
+		if got := render(tab); got != seq[r.ID] {
+			t.Errorf("%s: parallel table differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				r.ID, seq[r.ID], got)
+		}
+		// The aggregated kernel stats are order-independent sums/maxes, so
+		// they must match too.
+		if tab.Stats != stats[r.ID] {
+			t.Errorf("%s: parallel stats %+v differ from sequential %+v", r.ID, tab.Stats, stats[r.ID])
+		}
+	}
+}
+
+// TestStatsPopulated checks that the kernel-backed experiments actually
+// report event counters through the runner.
+func TestStatsPopulated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	withKernels := map[string]bool{
+		"E2": true, "E3": true, "E4": true, "E5": true, "E6": true,
+		"E9": true, "E10": true, "E11": true, "F1": true,
+	}
+	for _, r := range All() {
+		tab := r.Run(Quick)
+		if tab.Stats.Trials == 0 {
+			t.Errorf("%s: no trials reported", r.ID)
+		}
+		if withKernels[r.ID] && tab.Stats.Events.Fired == 0 {
+			t.Errorf("%s: expected kernel events, stats = %+v", r.ID, tab.Stats)
+		}
+	}
+}

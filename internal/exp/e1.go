@@ -100,14 +100,11 @@ func E1Interop(s Scale) *Table {
 	}
 
 	type stats struct{ devices, frames, obs, cmds, errs int }
-	perProto := map[string]*stats{}
-	for _, f := range fams {
-		st, ok := perProto[f.name]
-		if !ok {
-			st = &stats{}
-			perProto[f.name] = st
-		}
-		st.devices++
+	// One trial per family fixture: each owns its emulator, and the mux's
+	// adapter tables are immutable once built, so the trials fan out
+	// cleanly across workers.
+	perFam, rs := Sweep(fams, func(_ *Trial, f e1Family) stats {
+		var st stats
 		for r := 0; r < rounds/perFamily; r++ {
 			for i, c := range f.caps {
 				f.emu.SetState(c, 20+float64(r+i))
@@ -136,6 +133,21 @@ func E1Interop(s Scale) *Table {
 			}
 			st.cmds++
 		}
+		return st
+	})
+	t.Stats = rs
+	perProto := map[string]*stats{}
+	for i, f := range fams {
+		st, ok := perProto[f.name]
+		if !ok {
+			st = &stats{}
+			perProto[f.name] = st
+		}
+		st.devices++
+		st.frames += perFam[i].frames
+		st.obs += perFam[i].obs
+		st.cmds += perFam[i].cmds
+		st.errs += perFam[i].errs
 	}
 
 	totalErrs := 0

@@ -21,10 +21,11 @@ type e10Run struct {
 // runE10 converges an n-node grid, measures steady-state control
 // overhead, kills `kills` non-root nodes at once, and measures the time
 // until every survivor is joined again.
-func runE10(n int, seed int64, trickle rpl.TrickleConfig, kills []int, observe time.Duration) e10Run {
+func runE10(tr *Trial, n int, seed int64, trickle rpl.TrickleConfig, kills []int, observe time.Duration) e10Run {
 	cfg := core.Config{Seed: seed, Topology: radio.GridTopology(n, 15)}
 	cfg.Router.Trickle = trickle
 	d := core.NewDeployment(cfg)
+	tr.Observe(d.K)
 	d.RunUntilConverged(3 * time.Minute)
 
 	// Steady-state beaconing cost over 2 minutes. Probes and DAOs run
@@ -94,19 +95,25 @@ func E10SelfHealing(s Scale) *Table {
 		Columns: []string{"beaconing", "killed", "reconverged", "repair time", "DIOs/node/min", "parent switches"},
 	}
 
-	var rows []e10Run
-	for _, variant := range []struct {
+	variants := []struct {
 		name string
 		cfg  rpl.TrickleConfig
-	}{{"trickle (adaptive)", adaptive}, {"fixed-rate", fixed}} {
-		r := runE10(n, 1001, variant.cfg, kills, observe)
-		r.variant = variant.name
-		rows = append(rows, r)
+	}{{"trickle (adaptive)", adaptive}, {"fixed-rate", fixed}}
+	rows, rs := Sweep(variants, func(tr *Trial, v struct {
+		name string
+		cfg  rpl.TrickleConfig
+	}) e10Run {
+		r := runE10(tr, n, 1001, v.cfg, kills, observe)
+		r.variant = v.name
+		return r
+	})
+	t.Stats = rs
+	for _, r := range rows {
 		repair := "never"
 		if r.reconverged {
 			repair = fmt.Sprintf("%.0f s", r.reconvTime.Seconds())
 		}
-		t.AddRow(variant.name, di(len(kills)), fmt.Sprintf("%v", r.reconverged), repair,
+		t.AddRow(r.variant, di(len(kills)), fmt.Sprintf("%v", r.reconverged), repair,
 			f2(r.controlMsgs), f1(r.switches))
 	}
 

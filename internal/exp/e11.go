@@ -26,8 +26,9 @@ type e11Run struct {
 // optionally AEAD-protected, while an attacker node replays and tampers
 // frames at the application layer. It returns delivery, overhead, and
 // attack outcomes.
-func runE11(secured bool, msgs int, seed int64) e11Run {
+func runE11(tr *Trial, secured bool, msgs int, seed int64) e11Run {
 	k := sim.New(seed)
+	tr.Observe(k)
 	m := radio.NewMedium(k, radio.DefaultParams(), nil)
 	macs := make([]*mac.CSMA, 3)
 	for i := 0; i < 3; i++ {
@@ -150,8 +151,10 @@ func E11Security(s Scale) *Table {
 		msgs = 500
 	}
 
-	plain := runE11(false, msgs, 1101)
-	sec := runE11(true, msgs, 1101)
+	runs, rs := Sweep([]bool{false, true}, func(tr *Trial, secured bool) e11Run {
+		return runE11(tr, secured, msgs, 1101)
+	})
+	plain, sec := runs[0], runs[1]
 
 	t := &Table{
 		ID:      "E11",
@@ -159,6 +162,7 @@ func E11Security(s Scale) *Table {
 		Claim:   "§V-E: security provisions exist but are hardly implemented; unsecured layers admit arbitrary fault injection",
 		Columns: []string{"mode", "delivered", "mean latency", "bytes on air", "energy (J)", "attacks accepted"},
 	}
+	t.Stats = rs
 	for _, r := range []e11Run{plain, sec} {
 		t.AddRow(r.mode, fmt.Sprintf("%d/%d", r.delivered, msgs),
 			fmt.Sprintf("%.1f ms", float64(r.meanLatency.Microseconds())/1000),

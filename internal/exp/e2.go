@@ -27,12 +27,14 @@ type collectStats struct {
 
 // runCollection builds an n-node grid and collects one reading per node
 // per epoch for dur, either as raw per-node pushes or through in-network
-// aggregation. It returns per-run statistics.
-func runCollection(n int, seed int64, useAgg bool, epoch, dur time.Duration) collectStats {
+// aggregation. It returns per-run statistics. It is one trial: the whole
+// run lives on its own kernel, registered with tr for stats aggregation.
+func runCollection(tr *Trial, n int, seed int64, useAgg bool, epoch, dur time.Duration) collectStats {
 	d := core.NewDeployment(core.Config{
 		Seed:     seed,
 		Topology: radio.GridTopology(n, 15),
 	})
+	tr.Observe(d.K)
 	st := collectStats{n: n}
 	ok, _ := d.RunUntilConverged(3 * time.Minute)
 	st.converged = ok
@@ -117,15 +119,27 @@ func E2SizeScalability(s Scale) *Table {
 		Columns: []string{"N", "mode", "root msgs", "ring-1 tx (s)", "mean energy (J)", "max energy (J)"},
 	}
 
+	type e2Point struct {
+		n      int
+		useAgg bool
+	}
+	var pts []e2Point
+	for _, n := range sizes {
+		pts = append(pts, e2Point{n, false}, e2Point{n, true})
+	}
+	runs, rs := Sweep(pts, func(tr *Trial, p e2Point) collectStats {
+		return runCollection(tr, p.n, 101, p.useAgg, epoch, dur)
+	})
+	t.Stats = rs
+
 	type point struct {
 		n    int
 		raw  collectStats
 		aggr collectStats
 	}
 	var points []point
-	for _, n := range sizes {
-		raw := runCollection(n, 101, false, epoch, dur)
-		ag := runCollection(n, 101, true, epoch, dur)
+	for i, n := range sizes {
+		raw, ag := runs[2*i], runs[2*i+1]
 		points = append(points, point{n, raw, ag})
 		t.AddRow(di(n), "raw-push", di(raw.rootMsgs), f2(raw.ring1TxTime.Seconds()), f2(raw.meanEnergyJ), f2(raw.maxEnergyJ))
 		t.AddRow(di(n), "aggregate", di(ag.rootMsgs), f2(ag.ring1TxTime.Seconds()), f2(ag.meanEnergyJ), f2(ag.maxEnergyJ))

@@ -12,9 +12,10 @@ import (
 // chainLatency measures mean end-to-end latency of packets forwarded hop
 // by hop along an (hops+1)-node chain under the given MAC factory, plus
 // the per-node radio-on fraction.
-func chainLatency(hops int, seed int64, packets int, mk func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC) (mean time.Duration, radioOnFrac float64, delivered int) {
+func chainLatency(tr *Trial, hops int, seed int64, packets int, mk func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC) (mean time.Duration, radioOnFrac float64, delivered int) {
 	n := hops + 1
 	k := sim.New(seed)
+	tr.Observe(k)
 	// 18 m spacing: neighbors are reliable, two-hop links are out of
 	// range, so the topology is a true chain.
 	params := radio.DefaultParams()
@@ -91,52 +92,76 @@ func E3DutyCycleLatency(s Scale) *Table {
 		Columns: []string{"MAC", "hops", "mean latency", "per hop", "radio-on", "delivered"},
 	}
 
-	var lplWorst, tdmaAtWorst time.Duration
+	// Flatten the hops × MAC grid into one trial list so every chain run
+	// fans out independently; rows and the finding are derived from the
+	// merged results in the original order.
+	type e3Point struct {
+		label string
+		hops  int
+		isLPL bool
+		mk    func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC
+	}
+	var pts []e3Point
 	for _, hops := range hopCounts {
 		for _, wake := range wakes {
 			w := wake
-			mean, on, got := chainLatency(hops, 301, packets, func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC {
-				return mac.NewLPL(m, id, mac.LPLConfig{WakeInterval: w})
+			pts = append(pts, e3Point{
+				label: fmt.Sprintf("LPL w=%v", w), hops: hops, isLPL: true,
+				mk: func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC {
+					return mac.NewLPL(m, id, mac.LPLConfig{WakeInterval: w})
+				},
 			})
-			t.AddRow(fmt.Sprintf("LPL w=%v", w), di(hops),
-				fmt.Sprintf("%.0f ms", float64(mean.Milliseconds())),
-				fmt.Sprintf("%.0f ms", float64(mean.Milliseconds())/float64(hops)),
-				pct(on), fmt.Sprintf("%d/%d", got, packets))
-			if mean > lplWorst {
-				lplWorst = mean
-			}
 		}
 		// RI-MAC: same duty-cycle class as LPL, rendezvous via receiver
 		// beacons instead of sender strobes.
-		{
-			mean, on, got := chainLatency(hops, 301, packets, func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC {
+		pts = append(pts, e3Point{
+			label: "RI-MAC w=500ms", hops: hops,
+			mk: func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC {
 				return mac.NewRIMAC(m, id, mac.RIMACConfig{BeaconInterval: 500 * time.Millisecond})
-			})
-			t.AddRow("RI-MAC w=500ms", di(hops),
-				fmt.Sprintf("%.0f ms", float64(mean.Milliseconds())),
-				fmt.Sprintf("%.0f ms", float64(mean.Milliseconds())/float64(hops)),
-				pct(on), fmt.Sprintf("%d/%d", got, packets))
-		}
-		// TDMA pipeline: slot i owned by depth maxDepth-i.
-		mean, on, got := chainLatency(hops, 301, packets, func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC {
-			maxDepth := n - 1
-			tx := maxDepth - idx
-			var rx []int
-			if idx < n-1 {
-				rx = []int{maxDepth - idx - 1}
-			}
-			cfg := mac.TDMAConfig{SlotDuration: slot, SlotsPerEpoch: n, TxSlot: tx, RxSlots: rx}
-			if idx == 0 {
-				cfg.TxSlot = -1
-			}
-			return mac.NewTDMA(m, id, cfg)
+			},
 		})
-		t.AddRow("TDMA pipeline", di(hops),
-			fmt.Sprintf("%.0f ms", float64(mean.Milliseconds())),
-			fmt.Sprintf("%.0f ms", float64(mean.Milliseconds())/float64(hops)),
-			pct(on), fmt.Sprintf("%d/%d", got, packets))
-		if hops == hopCounts[len(hopCounts)-1] {
-			tdmaAtWorst = mean
+		// TDMA pipeline: slot i owned by depth maxDepth-i.
+		pts = append(pts, e3Point{
+			label: "TDMA pipeline", hops: hops,
+			mk: func(m *radio.Medium, id radio.NodeID, idx, n int) mac.MAC {
+				maxDepth := n - 1
+				tx := maxDepth - idx
+				var rx []int
+				if idx < n-1 {
+					rx = []int{maxDepth - idx - 1}
+				}
+				cfg := mac.TDMAConfig{SlotDuration: slot, SlotsPerEpoch: n, TxSlot: tx, RxSlots: rx}
+				if idx == 0 {
+					cfg.TxSlot = -1
+				}
+				return mac.NewTDMA(m, id, cfg)
+			},
+		})
+	}
+
+	type e3Run struct {
+		mean time.Duration
+		on   float64
+		got  int
+	}
+	runs, rs := Sweep(pts, func(tr *Trial, p e3Point) e3Run {
+		mean, on, got := chainLatency(tr, p.hops, 301, packets, p.mk)
+		return e3Run{mean, on, got}
+	})
+	t.Stats = rs
+
+	var lplWorst, tdmaAtWorst time.Duration
+	for i, p := range pts {
+		r := runs[i]
+		t.AddRow(p.label, di(p.hops),
+			fmt.Sprintf("%.0f ms", float64(r.mean.Milliseconds())),
+			fmt.Sprintf("%.0f ms", float64(r.mean.Milliseconds())/float64(p.hops)),
+			pct(r.on), fmt.Sprintf("%d/%d", r.got, packets))
+		if p.isLPL && r.mean > lplWorst {
+			lplWorst = r.mean
+		}
+		if p.label == "TDMA pipeline" && p.hops == hopCounts[len(hopCounts)-1] {
+			tdmaAtWorst = r.mean
 		}
 	}
 	speedup := float64(lplWorst) / float64(tdmaAtWorst+1)

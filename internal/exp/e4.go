@@ -19,8 +19,10 @@ func E4Funneling(s Scale) *Table {
 	}
 	const epoch = 10 * time.Second
 
-	raw := runCollection(n, 401, false, epoch, dur)
-	ag := runCollection(n, 401, true, epoch, dur)
+	runs, rs := Sweep([]bool{false, true}, func(tr *Trial, useAgg bool) collectStats {
+		return runCollection(tr, n, 401, useAgg, epoch, dur)
+	})
+	raw, ag := runs[0], runs[1]
 
 	t := &Table{
 		ID:      "E4",
@@ -28,6 +30,7 @@ func E4Funneling(s Scale) *Table {
 		Claim:   "§IV-B: aggregation + pulling alleviates the heavy load near border routers [30,31]",
 		Columns: []string{"mode", "root msgs", "coverage", "ring-1 tx (s)", "max node energy (J)", "datagrams fwd"},
 	}
+	t.Stats = rs
 	t.AddRow("raw-push", di(raw.rootMsgs), pct(raw.coverage), f2(raw.ring1TxTime.Seconds()),
 		f2(raw.maxEnergyJ), f1(raw.netDatagrams))
 	t.AddRow("aggregate", di(ag.rootMsgs), pct(ag.coverage), f2(ag.ring1TxTime.Seconds()),

@@ -23,12 +23,13 @@ type e5Result struct {
 
 // runE5 builds an n-node grid, kills the root at killAt, and measures how
 // the chosen detector spreads awareness.
-func runE5(n int, seed int64, useRNFD bool, probeEvery time.Duration, suspectTimeout time.Duration, observe time.Duration) e5Result {
+func runE5(tr *Trial, n int, seed int64, useRNFD bool, probeEvery time.Duration, suspectTimeout time.Duration, observe time.Duration) e5Result {
 	cfg := core.Config{Seed: seed, Topology: radio.GridTopology(n, 15)}
 	if useRNFD {
 		cfg.RNFD = &rpl.RNFDConfig{SuspectTimeout: suspectTimeout, Quorum: 2}
 	}
 	d := core.NewDeployment(cfg)
+	tr.Observe(d.K)
 	d.RunUntilConverged(3 * time.Minute)
 
 	detectedAt := make([]sim.Time, n)
@@ -134,8 +135,13 @@ func E5RNFD(s Scale) *Table {
 		observe = 6 * time.Minute
 	}
 
-	rnfd := runE5(n, 501, true, 0, 25*time.Second, observe)
-	probes := runE5(n, 501, false, 30*time.Second, 0, observe)
+	runs, rs := Sweep([]bool{true, false}, func(tr *Trial, useRNFD bool) e5Result {
+		if useRNFD {
+			return runE5(tr, n, 501, true, 0, 25*time.Second, observe)
+		}
+		return runE5(tr, n, 501, false, 30*time.Second, 0, observe)
+	})
+	rnfd, probes := runs[0], runs[1]
 
 	t := &Table{
 		ID:      "E5",
@@ -143,6 +149,7 @@ func E5RNFD(s Scale) *Table {
 		Claim:   "§IV-B: parallelism improves border-router failure detection efficiency by orders of magnitude [32]",
 		Columns: []string{"detector", "aware nodes", "mean detection", "worst detection", "detection msgs", "energy (J)"},
 	}
+	t.Stats = rs
 	t.AddRow("RNFD", pct(rnfd.detectedFrac),
 		fmt.Sprintf("%.1f s", rnfd.meanDetection.Seconds()),
 		fmt.Sprintf("%.1f s", rnfd.worstDetection.Seconds()),

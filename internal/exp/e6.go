@@ -44,8 +44,9 @@ type e6Tenant struct {
 // runE6 colocates k tenants (one sink + leaves each) in the same space —
 // the construction-site scenario of §IV-C — and measures delivery under
 // the given regime for dur.
-func runE6(kTenants, leaves int, regime e6Regime, seed int64, dur time.Duration) (delivery float64, crossCollisions float64, retriesPerMsg float64, hops int) {
+func runE6(tr *Trial, kTenants, leaves int, regime e6Regime, seed int64, dur time.Duration) (delivery float64, crossCollisions float64, retriesPerMsg float64, hops int) {
 	k := sim.New(seed)
+	tr.Observe(k)
 	reg := metrics.NewRegistry()
 	m := radio.NewMedium(k, radio.DefaultParams(), reg)
 
@@ -168,16 +169,34 @@ func E6Coexistence(s Scale) *Table {
 		Columns: []string{"tenants", "regime", "delivery", "retries/msg", "cross-tenant collisions", "hops"},
 	}
 
+	type e6Point struct {
+		kT     int
+		regime e6Regime
+	}
+	var pts []e6Point
+	for _, kT := range tenantCounts {
+		for _, regime := range []e6Regime{e6Uncoordinated, e6Coordinated, e6Adaptive} {
+			pts = append(pts, e6Point{kT, regime})
+		}
+	}
+	type e6Run struct {
+		del, cross, retries float64
+		hops                int
+	}
+	runs, rs := Sweep(pts, func(tr *Trial, p e6Point) e6Run {
+		del, cross, retries, hops := runE6(tr, p.kT, leaves, p.regime, 601, dur)
+		return e6Run{del, cross, retries, hops}
+	})
+	t.Stats = rs
+
 	type outcome struct{ del, retries, cross float64 }
 	results := map[e6Regime]outcome{}
 	maxK := tenantCounts[len(tenantCounts)-1]
-	for _, kT := range tenantCounts {
-		for _, regime := range []e6Regime{e6Uncoordinated, e6Coordinated, e6Adaptive} {
-			del, cross, retries, hops := runE6(kT, leaves, regime, 601, dur)
-			t.AddRow(di(kT), regime.String(), pct(del), f2(retries), f1(cross), di(hops))
-			if kT == maxK {
-				results[regime] = outcome{del, retries, cross}
-			}
+	for i, p := range pts {
+		r := runs[i]
+		t.AddRow(di(p.kT), p.regime.String(), pct(r.del), f2(r.retries), f1(r.cross), di(r.hops))
+		if p.kT == maxK {
+			results[p.regime] = outcome{r.del, r.retries, r.cross}
 		}
 	}
 	t.Finding = fmt.Sprintf(

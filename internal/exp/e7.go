@@ -32,10 +32,18 @@ func E7Redundancy(s Scale) *Table {
 		Columns: []string{"loss", "strategy", "success", "cost", "deadline misses"},
 	}
 
-	var arqMissAtHighLoss, fecAtHighLoss, plainAtModerateLoss float64
-	for _, loss := range lossRates {
+	// One trial per loss rate: each owns its RNG (seeded identically, as
+	// the sequential loop did), so the Monte-Carlo sweeps fan out without
+	// perturbing each other's random streams.
+	type e7Run struct {
+		plainRate, fecRate, fecBlocks  float64
+		arqRate, arqTries, arqMissRate float64
+		physRate                       float64
+	}
+	runs, rs := Sweep(lossRates, func(_ *Trial, loss float64) e7Run {
 		rng := rand.New(rand.NewSource(701))
 		lk := redundancy.LinkFunc(func([]byte) bool { return rng.Float64() >= loss })
+		var r e7Run
 
 		// Plain: the same payload as the FEC case (k fragments), no
 		// redundancy — every fragment must arrive.
@@ -51,8 +59,7 @@ func E7Redundancy(s Scale) *Table {
 				okPlain++
 			}
 		}
-		t.AddRow(pct(loss), fmt.Sprintf("none (%d frags)", k), pct(float64(okPlain)/float64(trials)),
-			fmt.Sprintf("%d frames", k), "0")
+		r.plainRate = float64(okPlain) / float64(trials)
 
 		// Information redundancy: k data blocks + 1 parity, single shot.
 		okFEC, blocks := 0, 0
@@ -67,9 +74,8 @@ func E7Redundancy(s Scale) *Table {
 				okFEC++
 			}
 		}
-		fecRate := float64(okFEC) / float64(trials)
-		t.AddRow(pct(loss), fmt.Sprintf("FEC %d+1", k), pct(fecRate),
-			fmt.Sprintf("%.2f frames", float64(blocks)/float64(trials)), "0")
+		r.fecRate = float64(okFEC) / float64(trials)
+		r.fecBlocks = float64(blocks) / float64(trials)
 
 		// Time redundancy: retransmit under a deadline.
 		pol := redundancy.ARQPolicy{MaxRetries: 5, AttemptCost: attemptCost, Deadline: deadline}
@@ -84,10 +90,9 @@ func E7Redundancy(s Scale) *Table {
 				misses++
 			}
 		}
-		missRate := float64(misses) / float64(trials)
-		t.AddRow(pct(loss), "ARQ ≤120ms", pct(float64(okARQ)/float64(trials)),
-			fmt.Sprintf("%.2f tries", float64(attempts)/float64(trials)),
-			pct(missRate))
+		r.arqRate = float64(okARQ) / float64(trials)
+		r.arqTries = float64(attempts) / float64(trials)
+		r.arqMissRate = float64(misses) / float64(trials)
 
 		// Physical redundancy: 3 replicated sensors, one of which fails
 		// to report with probability = loss; the median of survivors
@@ -100,12 +105,27 @@ func E7Redundancy(s Scale) *Table {
 				okPhys++
 			}
 		}
-		t.AddRow(pct(loss), "3x sensors", pct(float64(okPhys)/float64(trials)), "3 sensors", "0")
+		r.physRate = float64(okPhys) / float64(trials)
+		return r
+	})
+	t.Stats = rs
+
+	var arqMissAtHighLoss, fecAtHighLoss, plainAtModerateLoss float64
+	for i, loss := range lossRates {
+		r := runs[i]
+		t.AddRow(pct(loss), fmt.Sprintf("none (%d frags)", k), pct(r.plainRate),
+			fmt.Sprintf("%d frames", k), "0")
+		t.AddRow(pct(loss), fmt.Sprintf("FEC %d+1", k), pct(r.fecRate),
+			fmt.Sprintf("%.2f frames", r.fecBlocks), "0")
+		t.AddRow(pct(loss), "ARQ ≤120ms", pct(r.arqRate),
+			fmt.Sprintf("%.2f tries", r.arqTries),
+			pct(r.arqMissRate))
+		t.AddRow(pct(loss), "3x sensors", pct(r.physRate), "3 sensors", "0")
 
 		if loss == 0.2 {
-			arqMissAtHighLoss = missRate
-			fecAtHighLoss = fecRate
-			plainAtModerateLoss = float64(okPlain) / float64(trials)
+			arqMissAtHighLoss = r.arqMissRate
+			fecAtHighLoss = r.fecRate
+			plainAtModerateLoss = r.plainRate
 		}
 	}
 	t.Finding = fmt.Sprintf(

@@ -25,10 +25,12 @@ func E8HVAC(s Scale) *Table {
 		Columns: []string{"controller", "energy (kWh)", "comfort violations (min)", "severity (°C·min)", "net revenue"},
 	}
 
-	var results []hvac.Result
-	for _, c := range hvac.Controllers() {
-		results = append(results, hvac.Simulate(c, cfg))
-	}
+	// hvac.Simulate is self-contained (its RNG comes from cfg.Seed), so
+	// the three policies run as parallel trials.
+	results, rs := Sweep(hvac.Controllers(), func(_ *Trial, c hvac.Controller) hvac.Result {
+		return hvac.Simulate(c, cfg)
+	})
+	t.Stats = rs
 	baseline := results[0].EnergyKWh // strict = the no-savings reference
 	const (
 		pricePerKWh      = 0.20

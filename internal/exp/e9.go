@@ -21,9 +21,10 @@ type e9Run struct {
 	convergenceTime time.Duration
 }
 
-func runE9(mode store.Mode, seed int64, opsPerSec int, partitionLen time.Duration) e9Run {
+func runE9(tr *Trial, mode store.Mode, seed int64, opsPerSec int, partitionLen time.Duration) e9Run {
 	const n = 5
 	k := sim.New(seed)
+	tr.Observe(k)
 	net := gossip.NewNetwork()
 	names := []string{"a", "b", "c", "d", "e"}
 	replicas := make([]*store.Replica, n)
@@ -132,9 +133,14 @@ func E9Partitions(s Scale) *Table {
 		Claim:   "§V-C: partition-tolerant always-on operation requires AP designs (eventual consistency + CRDTs) [43,44]",
 		Columns: []string{"mode", "ops ok (healthy)", "ops ok (partition)", "minority ops ok", "converged after heal", "convergence"},
 	}
+	modes := []store.Mode{store.ModeCP, store.ModeAP}
+	runs, rs := Sweep(modes, func(tr *Trial, mode store.Mode) e9Run {
+		return runE9(tr, mode, 901, ops, partitionLen)
+	})
+	t.Stats = rs
 	var cp, ap e9Run
-	for _, mode := range []store.Mode{store.ModeCP, store.ModeAP} {
-		r := runE9(mode, 901, ops, partitionLen)
+	for i, mode := range modes {
+		r := runs[i]
 		conv := "n/a"
 		if r.convergedAfter {
 			conv = fmt.Sprintf("%.1f s", r.convergenceTime.Seconds())

@@ -27,13 +27,19 @@ const (
 
 // Table is one experiment's result.
 type Table struct {
-	ID      string
-	Title   string
-	Claim   string // the paper statement under test (section cited)
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"` // the paper statement under test (section cited)
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Finding is the measured one-line verdict on the claim's shape.
-	Finding string
+	Finding string `json:"finding"`
+	// Stats aggregates the kernel counters of the trials behind this
+	// table (events scheduled/fired/canceled, pool reuse, max heap
+	// depth). It is reported by iiotbench -json but is not part of the
+	// rendered table, so String()/Markdown() output stays byte-identical
+	// across runner configurations.
+	Stats RunStats `json:"stats"`
 }
 
 // AddRow appends a formatted row.

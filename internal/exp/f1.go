@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"strconv"
-	"sync"
 	"time"
 
 	"iiotds/internal/bus"
@@ -26,12 +25,25 @@ func F1ThreeTier(s Scale) *Table {
 		rounds = 20
 	}
 
+	// F1's rounds share one deployment, so it is a single trial — wrapped
+	// in the runner anyway so its kernel stats are reported like every
+	// other experiment's.
+	tables, rs := RunTrials(1, func(tr *Trial) *Table {
+		return runF1(tr, rounds)
+	})
+	t := tables[0]
+	t.Stats = rs
+	return t
+}
+
+func runF1(tr *Trial, rounds int) *Table {
 	d := core.NewDeployment(core.Config{
 		Seed:        1201,
 		Topology:    radio.GridTopology(16, 15),
 		WithCoAP:    true,
 		WithBackend: true,
 	})
+	tr.Observe(d.K)
 	defer d.Close()
 	d.RunUntilConverged(3 * time.Minute)
 
@@ -39,13 +51,12 @@ func F1ThreeTier(s Scale) *Table {
 		sensorNode   = 15 // far corner
 		actuatorNode = 12
 	)
-	// Sensing tier: leaf 15 exposes an observable temperature.
-	var tempMu sync.Mutex
+	// Sensing tier: leaf 15 exposes an observable temperature. All three
+	// tiers run on the simulation thread (the bus delivers inline), so
+	// plain variables suffice.
 	temp := 20.0
 	tempRes := d.Nodes[sensorNode].Server.Resource("sensors/temp").Observable().
 		Get(func(string, *coap.Message) *coap.Message {
-			tempMu.Lock()
-			defer tempMu.Unlock()
 			return coap.TextResponse(fmt.Sprintf("%.2f", temp))
 		})
 	// Actuation tier: leaf 12 exposes a vent actuator.
@@ -105,23 +116,19 @@ func F1ThreeTier(s Scale) *Table {
 	for r := 0; r < rounds; r++ {
 		// Alternate hot and normal stimuli.
 		hot := r%2 == 0
-		tempMu.Lock()
 		if hot {
 			temp = 30
 		} else {
 			temp = 20
 		}
-		tempMu.Unlock()
 		stimulusAt := d.K.Now()
 		prevChanges := len(ventChangedAt)
 		tempRes.Notify(coap.FormatText, []byte(fmt.Sprintf("%.2f", temp)))
-		// The bus tier runs on real goroutines while the mesh runs on
-		// virtual time; interleave small virtual steps with yields so
-		// both make progress.
+		// The bus tier delivers inline on the simulation thread, so the
+		// whole loop advances on virtual time alone.
 		deadline := d.K.Now() + 2*time.Minute
 		for len(ventChangedAt) == prevChanges && d.K.Now() < deadline {
 			d.K.RunFor(500 * time.Millisecond)
-			time.Sleep(time.Millisecond)
 		}
 		reacted := len(ventChangedAt) > prevChanges
 		lat := time.Duration(0)

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iiotds/internal/sim"
+)
+
+func TestRunTrialsOrderAndStats(t *testing.T) {
+	defer SetParallelism(0)
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		results, rs := RunTrials(10, func(tr *Trial) int {
+			k := sim.New(int64(tr.Index))
+			tr.Observe(k)
+			k.Schedule(time.Second, func() {})
+			k.Schedule(2*time.Second, func() {})
+			k.RunFor(3 * time.Second)
+			return tr.Index * tr.Index
+		})
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+		if rs.Trials != 10 {
+			t.Fatalf("workers=%d: Trials = %d, want 10", workers, rs.Trials)
+		}
+		if rs.Events.Scheduled != 20 || rs.Events.Fired != 20 {
+			t.Fatalf("workers=%d: events = %+v, want 20 scheduled/fired", workers, rs.Events)
+		}
+	}
+}
+
+func TestRunTrialsActuallyParallel(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(0)
+	var inFlight, peak atomic.Int32
+	_, _ = RunTrials(8, func(tr *Trial) struct{} {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		inFlight.Add(-1)
+		return struct{}{}
+	})
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak.Load())
+	}
+}
+
+func TestRunTrialsPanicLowestIndexFirst(t *testing.T) {
+	SetParallelism(4)
+	defer SetParallelism(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected re-raised panic")
+		}
+		if s, ok := r.(string); !ok || s != "trial 2" {
+			t.Fatalf("re-raised %v, want lowest-index panic \"trial 2\"", r)
+		}
+	}()
+	_, _ = RunTrials(8, func(tr *Trial) int {
+		if tr.Index == 2 || tr.Index == 6 {
+			panic(fmt.Sprintf("trial %d", tr.Index))
+		}
+		return 0
+	})
+}
+
+func TestSweepThreadsPoints(t *testing.T) {
+	pts := []string{"a", "b", "c"}
+	got, rs := Sweep(pts, func(tr *Trial, p string) string {
+		return fmt.Sprintf("%d:%s", tr.Index, p)
+	})
+	want := []string{"0:a", "1:b", "2:c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sweep result %v, want %v", got, want)
+		}
+	}
+	if rs.Trials != 3 {
+		t.Fatalf("Trials = %d, want 3", rs.Trials)
+	}
+}
+
+func TestObserveNilTrial(t *testing.T) {
+	var tr *Trial
+	tr.Observe(sim.New(1)) // must not panic
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"E1", "e1", "F1", "e10"} {
+		r, ok := ByID(id)
+		if !ok {
+			t.Fatalf("ByID(%q) not found", id)
+		}
+		if r.Run == nil {
+			t.Fatalf("ByID(%q) returned runner without Run", id)
+		}
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("ByID(E99) should not resolve")
+	}
+	if _, ok := ByID(""); ok {
+		t.Fatal("ByID(\"\") should not resolve")
+	}
+}
+
+func TestSetParallelismClamp(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(-5)
+	if Parallelism() <= 0 {
+		t.Fatalf("Parallelism() = %d after negative set, want GOMAXPROCS default", Parallelism())
+	}
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+}

@@ -47,7 +47,7 @@ type CSMA struct {
 	// In-flight unicast state.
 	awaitAckSeq uint16
 	awaitAckTo  radio.NodeID
-	ackTimer    *sim.Event
+	ackTimer    sim.Event
 	attempt     int
 
 	started bool
@@ -108,9 +108,7 @@ func (c *CSMA) Stop() {
 	if c.accrual != nil {
 		c.accrual.Stop()
 	}
-	if c.ackTimer != nil {
-		c.ackTimer.Cancel()
-	}
+	c.ackTimer.Cancel()
 	for _, it := range c.queue {
 		if it.done != nil {
 			it.done(false)
@@ -237,9 +235,7 @@ func (c *CSMA) RadioReceive(f radio.Frame) {
 		}
 	case KindAck:
 		if f.To == c.id && c.sending && seq == c.awaitAckSeq && f.From == c.awaitAckTo {
-			if c.ackTimer != nil {
-				c.ackTimer.Cancel()
-			}
+			c.ackTimer.Cancel()
 			c.finish(true)
 		}
 	}

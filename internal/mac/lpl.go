@@ -62,7 +62,7 @@ type LPL struct {
 	started   bool
 	stopped   bool
 	wake      *sim.Repeater
-	sleepEv   *sim.Event
+	sleepEv   sim.Event
 	awake     bool
 	lastAwake sim.Time
 
@@ -122,9 +122,7 @@ func (l *LPL) Stop() {
 	if l.wake != nil {
 		l.wake.Stop()
 	}
-	if l.sleepEv != nil {
-		l.sleepEv.Cancel()
-	}
+	l.sleepEv.Cancel()
 	l.setAwake(false)
 	for _, it := range l.queue {
 		if it.done != nil {
@@ -162,9 +160,7 @@ func (l *LPL) channelCheck() {
 
 // scheduleSleep (re)arms the radio-off decision d from now.
 func (l *LPL) scheduleSleep(d time.Duration) {
-	if l.sleepEv != nil {
-		l.sleepEv.Cancel()
-	}
+	l.sleepEv.Cancel()
 	l.sleepEv = l.k.Schedule(d, func() {
 		if l.stopped || l.strobing {
 			return

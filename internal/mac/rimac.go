@@ -57,14 +57,14 @@ type RIMAC struct {
 	started   bool
 	stopped   bool
 	beacons   *sim.Repeater
-	sleepEv   *sim.Event
+	sleepEv   sim.Event
 	awake     bool
 	lastAwake sim.Time
 
 	// Sender rendezvous state.
 	waiting     bool
 	waitTarget  radio.NodeID
-	waitExpire  *sim.Event
+	waitExpire  sim.Event
 	attempt     int
 	awaitAckSeq uint16
 	gotAck      bool
@@ -118,12 +118,8 @@ func (r *RIMAC) Stop() {
 	if r.beacons != nil {
 		r.beacons.Stop()
 	}
-	if r.sleepEv != nil {
-		r.sleepEv.Cancel()
-	}
-	if r.waitExpire != nil {
-		r.waitExpire.Cancel()
-	}
+	r.sleepEv.Cancel()
+	r.waitExpire.Cancel()
 	r.setAwake(false)
 	for _, it := range r.queue {
 		if it.done != nil {
@@ -164,9 +160,7 @@ func (r *RIMAC) beacon() {
 }
 
 func (r *RIMAC) scheduleSleep(d time.Duration) {
-	if r.sleepEv != nil {
-		r.sleepEv.Cancel()
-	}
+	r.sleepEv.Cancel()
 	r.sleepEv = r.k.Schedule(d, func() {
 		if r.stopped || r.waiting {
 			return
@@ -237,9 +231,7 @@ func (r *RIMAC) waitExpired() {
 
 func (r *RIMAC) finish(ok bool) {
 	r.waiting = false
-	if r.waitExpire != nil {
-		r.waitExpire.Cancel()
-	}
+	r.waitExpire.Cancel()
 	r.scheduleSleep(r.cfg.Dwell)
 	if len(r.queue) == 0 {
 		r.sending = false

@@ -58,7 +58,7 @@ type TDMA struct {
 
 	started bool
 	stopped bool
-	pending []*sim.Event
+	pending []sim.Event
 
 	awaitAckSeq uint16
 	awaitAckTo  radio.NodeID

@@ -126,9 +126,15 @@ type transmission struct {
 // Medium is the shared wireless channel set. It is single-threaded and
 // must only be used from the owning simulation kernel's event callbacks.
 type Medium struct {
-	k       *sim.Kernel
-	params  Params
-	nodes   map[NodeID]*nodeState
+	k      *sim.Kernel
+	params Params
+	nodes  map[NodeID]*nodeState
+	// ordered mirrors nodes sorted by ID. Delivery fan-out must walk
+	// nodes in a fixed order: each audible receiver consumes a PRR draw
+	// from the kernel's single RNG, so iterating the map directly would
+	// make loss patterns depend on Go's randomized map order and break
+	// run-to-run determinism (DESIGN.md §5).
+	ordered []*nodeState
 	active  []*transmission
 	filter  LinkFilter
 	energy  *metrics.EnergySet
@@ -176,7 +182,12 @@ func (m *Medium) Attach(id NodeID, pos Position, recv Receiver) {
 	if recv == nil {
 		panic("radio: Attach with nil receiver")
 	}
-	m.nodes[id] = &nodeState{id: id, pos: pos, recv: recv}
+	n := &nodeState{id: id, pos: pos, recv: recv}
+	m.nodes[id] = n
+	at := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].id > id })
+	m.ordered = append(m.ordered, nil)
+	copy(m.ordered[at+1:], m.ordered[at:])
+	m.ordered[at] = n
 }
 
 // SetPosition moves a node (e.g., a mobile asset tag).
@@ -342,7 +353,8 @@ func (m *Medium) Send(f Frame) time.Duration {
 		}
 	}
 
-	for id, n := range m.nodes {
+	for _, n := range m.ordered {
+		id := n.id
 		if id == f.From || n.down || !n.listening || n.channel != f.Channel {
 			continue
 		}

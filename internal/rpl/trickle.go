@@ -49,8 +49,8 @@ type Trickle struct {
 
 	interval time.Duration
 	counter  int
-	fireEv   *sim.Event
-	endEv    *sim.Event
+	fireEv   sim.Event
+	endEv    sim.Event
 	running  bool
 
 	// Resets counts timer resets; Suppressed counts suppressed
@@ -80,12 +80,8 @@ func (t *Trickle) Start() {
 // Stop halts the timer.
 func (t *Trickle) Stop() {
 	t.running = false
-	if t.fireEv != nil {
-		t.fireEv.Cancel()
-	}
-	if t.endEv != nil {
-		t.endEv.Cancel()
-	}
+	t.fireEv.Cancel()
+	t.endEv.Cancel()
 }
 
 // Hear records a consistent message heard from a neighbor; enough of them
@@ -103,12 +99,8 @@ func (t *Trickle) Reset() {
 		return // already at minimum; RFC 6206 §4.2 resets only larger intervals
 	}
 	t.interval = t.cfg.Imin
-	if t.fireEv != nil {
-		t.fireEv.Cancel()
-	}
-	if t.endEv != nil {
-		t.endEv.Cancel()
-	}
+	t.fireEv.Cancel()
+	t.endEv.Cancel()
 	t.beginInterval()
 }
 

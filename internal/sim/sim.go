@@ -6,6 +6,13 @@
 // is a design rule (DESIGN.md §5): all randomness flows from one seeded
 // generator owned by the kernel, events at equal timestamps fire in
 // scheduling order, and no component may consult the wall clock.
+//
+// Scheduling is allocation-light: fired and canceled events return their
+// backing structs to a kernel-local free pool, and canceled events are
+// removed from the heap eagerly so their slots are reused instead of
+// lingering as tombstones. Handles returned by the Schedule family are
+// generation-checked values — operating on a handle whose event has
+// already fired (or whose slot was recycled) is a safe no-op.
 package sim
 
 import (
@@ -19,36 +26,57 @@ import (
 // the simulation (t = 0).
 type Time = time.Duration
 
-// Event is a scheduled callback. It is created by the Schedule family of
-// Kernel methods and may be canceled before it fires.
-type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 when not queued
-	fn       func()
-	canceled bool
+// event is the kernel-owned scheduling record. Structs are pooled: after
+// an event fires or is canceled its struct goes back to the kernel's free
+// list and its generation advances, invalidating outstanding handles.
+type event struct {
+	k     *Kernel
+	at    Time
+	seq   uint64
+	index int // heap index, -1 when not queued
+	fn    func()
+	gen   uint64
 }
 
-// At returns the virtual time at which the event fires (or would have
-// fired, if canceled).
-func (e *Event) At() Time { return e.at }
+// Event is a handle to a scheduled callback, created by the Schedule
+// family of Kernel methods. It is a small value: copy it freely. The zero
+// Event is valid and inert. A handle goes stale once its event fires or
+// is canceled; Cancel and Pending on a stale handle are safe no-ops even
+// after the underlying slot has been recycled for a different event.
+type Event struct {
+	e   *event
+	gen uint64
+	at  Time
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op. It reports whether the event was
-// still pending.
-func (e *Event) Cancel() bool {
-	if e.canceled || e.index < 0 {
+// At returns the virtual time at which the event fires (or fired, or
+// would have fired if canceled).
+func (ev Event) At() Time { return ev.at }
+
+// live reports whether the handle still refers to a queued event.
+func (ev Event) live() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.index >= 0
+}
+
+// Cancel prevents the event from firing, removing it from the kernel's
+// queue immediately. Canceling an already-fired, already-canceled, or
+// zero event is a no-op. It reports whether the event was still pending.
+func (ev Event) Cancel() bool {
+	if !ev.live() {
 		return false
 	}
-	e.canceled = true
+	e := ev.e
+	heap.Remove(&e.k.queue, e.index)
+	e.k.stats.Canceled++
+	e.k.recycle(e)
 	return true
 }
 
-// Pending reports whether the event is still queued and not canceled.
-func (e *Event) Pending() bool { return e.index >= 0 && !e.canceled }
+// Pending reports whether the event is still queued.
+func (ev Event) Pending() bool { return ev.live() }
 
 // eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
@@ -63,7 +91,7 @@ func (q eventQueue) Swap(i, j int) {
 	q[j].index = j
 }
 func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+	e := x.(*event)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
@@ -77,16 +105,47 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Stats are the kernel's scheduling counters. Trials report them through
+// exp.RunStats so the experiment runner can account for the event load
+// behind every table.
+type Stats struct {
+	// Scheduled counts events accepted by Schedule/At/Every.
+	Scheduled uint64 `json:"scheduled"`
+	// Fired counts events executed.
+	Fired uint64 `json:"fired"`
+	// Canceled counts events removed from the queue before firing.
+	Canceled uint64 `json:"canceled"`
+	// Reused counts schedules served from the free pool instead of a
+	// fresh allocation.
+	Reused uint64 `json:"reused"`
+	// MaxHeapDepth is the high-water mark of the event queue.
+	MaxHeapDepth int `json:"max_heap_depth"`
+}
+
+// Add merges o into s: counters sum, high-water marks take the max.
+func (s *Stats) Add(o Stats) {
+	s.Scheduled += o.Scheduled
+	s.Fired += o.Fired
+	s.Canceled += o.Canceled
+	s.Reused += o.Reused
+	if o.MaxHeapDepth > s.MaxHeapDepth {
+		s.MaxHeapDepth = o.MaxHeapDepth
+	}
+}
+
 // Kernel is a discrete-event scheduler with a virtual clock.
 // It is not safe for concurrent use: the simulation is single-threaded by
-// construction, which is what makes runs reproducible.
+// construction, which is what makes runs reproducible. Parallelism lives
+// one layer up (exp.RunTrials), where independent trials each own a
+// kernel.
 type Kernel struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
-	fired   uint64
+	free    []*event
+	stats   Stats
 }
 
 // New returns a kernel whose random generator is seeded with seed.
@@ -105,12 +164,24 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Fired returns the number of events executed so far; useful for tests and
 // runaway detection.
-func (k *Kernel) Fired() uint64 { return k.fired }
+func (k *Kernel) Fired() uint64 { return k.stats.Fired }
+
+// Stats returns a snapshot of the kernel's scheduling counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// recycle invalidates outstanding handles to e and returns its struct to
+// the free pool.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.index = -1
+	k.free = append(k.free, e)
+}
 
 // Schedule runs fn after d of virtual time. A negative d is treated as 0
 // (fire as soon as the kernel resumes, after already-queued events at the
 // current instant).
-func (k *Kernel) Schedule(d Time, fn func()) *Event {
+func (k *Kernel) Schedule(d Time, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -119,17 +190,32 @@ func (k *Kernel) Schedule(d Time, fn func()) *Event {
 
 // At runs fn at absolute virtual time t. Times in the past are clamped to
 // the current instant.
-func (k *Kernel) At(t Time, fn func()) *Event {
+func (k *Kernel) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: At called with nil fn")
 	}
 	if t < k.now {
 		t = k.now
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		k.stats.Reused++
+	} else {
+		e = &event{k: k}
+	}
+	e.at = t
+	e.seq = k.seq
+	e.fn = fn
 	k.seq++
+	k.stats.Scheduled++
 	heap.Push(&k.queue, e)
-	return e
+	if d := len(k.queue); d > k.stats.MaxHeapDepth {
+		k.stats.MaxHeapDepth = d
+	}
+	return Event{e: e, gen: e.gen, at: t}
 }
 
 // Every schedules fn to run every interval, starting after the first
@@ -152,7 +238,7 @@ type Repeater struct {
 	interval Time
 	jitter   Time
 	fn       func()
-	ev       *Event
+	ev       Event
 	stopped  bool
 }
 
@@ -178,9 +264,7 @@ func (r *Repeater) Stop() {
 		return
 	}
 	r.stopped = true
-	if r.ev != nil {
-		r.ev.Cancel()
-	}
+	r.ev.Cancel()
 }
 
 // Stop makes the current Run/RunUntil call return once the in-flight event
@@ -190,17 +274,18 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Step executes the single next event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	for k.queue.Len() > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		k.now = e.at
-		k.fired++
-		e.fn()
-		return true
+	if k.queue.Len() == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.at
+	k.stats.Fired++
+	fn := e.fn
+	// Recycle before running fn: handles to this event are already stale,
+	// and events scheduled inside fn can reuse the slot immediately.
+	k.recycle(e)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -215,16 +300,7 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(t Time) {
 	k.stopped = false
 	for !k.stopped {
-		if k.queue.Len() == 0 {
-			break
-		}
-		// Peek.
-		next := k.queue[0]
-		if next.canceled {
-			heap.Pop(&k.queue)
-			continue
-		}
-		if next.at > t {
+		if k.queue.Len() == 0 || k.queue[0].at > t {
 			break
 		}
 		k.Step()
@@ -237,5 +313,6 @@ func (k *Kernel) RunUntil(t Time) {
 // RunFor is RunUntil(Now()+d).
 func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
 
-// Pending returns the number of queued (possibly canceled) events.
+// Pending returns the number of queued events. Canceled events are
+// removed eagerly, so this counts only events that will still fire.
 func (k *Kernel) Pending() int { return k.queue.Len() }

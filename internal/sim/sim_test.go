@@ -276,6 +276,87 @@ func TestAtNilFnPanics(t *testing.T) {
 	New(1).At(0, nil)
 }
 
+func TestStatsCounters(t *testing.T) {
+	k := New(1)
+	a := k.Schedule(time.Second, func() {})
+	k.Schedule(2*time.Second, func() {})
+	k.Schedule(3*time.Second, func() {})
+	a.Cancel()
+	k.Run()
+	st := k.Stats()
+	if st.Scheduled != 3 || st.Fired != 2 || st.Canceled != 1 {
+		t.Fatalf("stats = %+v, want scheduled=3 fired=2 canceled=1", st)
+	}
+	if st.MaxHeapDepth != 3 {
+		t.Fatalf("MaxHeapDepth = %d, want 3", st.MaxHeapDepth)
+	}
+	if k.Fired() != st.Fired {
+		t.Fatalf("Fired() = %d, Stats().Fired = %d", k.Fired(), st.Fired)
+	}
+}
+
+func TestEventPoolReuse(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 100; i++ {
+		k.Schedule(time.Duration(i)*time.Millisecond, func() {})
+		k.Run()
+	}
+	st := k.Stats()
+	if st.Reused < 90 {
+		t.Fatalf("Reused = %d, want most of the %d schedules served from the pool", st.Reused, st.Scheduled)
+	}
+}
+
+// TestStaleHandleIsInert pins the safety contract that makes pooling
+// sound: a handle whose event already fired must not affect the event
+// that later reuses its slot.
+func TestStaleHandleIsInert(t *testing.T) {
+	k := New(1)
+	a := k.Schedule(time.Second, func() {})
+	k.Run()
+	fired := false
+	b := k.Schedule(time.Second, func() { fired = true })
+	if a.Cancel() {
+		t.Fatal("stale Cancel reported true")
+	}
+	if a.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	if !b.Pending() {
+		t.Fatal("live event lost by stale Cancel")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("reused-slot event did not fire")
+	}
+}
+
+func TestCancelRemovesFromHeap(t *testing.T) {
+	k := New(1)
+	e := k.Schedule(time.Second, func() {})
+	k.Schedule(2*time.Second, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", k.Pending())
+	}
+	e.Cancel()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1 (eager removal)", k.Pending())
+	}
+}
+
+func TestAtReturnsFireTime(t *testing.T) {
+	k := New(1)
+	k.RunUntil(4 * time.Second)
+	e := k.Schedule(2*time.Second, func() {})
+	if e.At() != 6*time.Second {
+		t.Fatalf("At() = %v, want 6s", e.At())
+	}
+	k.Run()
+	if e.At() != 6*time.Second {
+		t.Fatalf("At() after fire = %v, want 6s", e.At())
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	k := New(1)
 	b.ReportAllocs()
