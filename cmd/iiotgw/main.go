@@ -9,8 +9,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -18,24 +21,55 @@ import (
 
 	"iiotds/internal/adapter"
 	"iiotds/internal/coap"
+	"iiotds/internal/metrics"
 	"iiotds/internal/registry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5683", "UDP address to serve CoAP on")
 	probe := flag.String("probe", "", "act as client: discover and read a gateway at this address")
+	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/vars (expvar) on this TCP address")
+	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ on the -http address")
 	flag.Parse()
 
 	if *probe != "" {
 		runProbe(*probe)
 		return
 	}
-	runGateway(*listen)
+	runGateway(*listen, *httpAddr, *pprofOn)
+}
+
+// serveObservability exposes the gateway's labeled metrics registry over
+// HTTP: Prometheus text on /metrics, the same snapshot as JSON through
+// expvar on /debug/vars, and — only when asked — the pprof profiling
+// endpoints.
+func serveObservability(addr string, reg *metrics.Registry, withPprof bool) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	expvar.Publish("iiot", expvar.Func(reg.ExpvarFunc()))
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "iiotgw: http: %v\n", err)
+		}
+	}()
 }
 
 // runGateway serves the middleware over a real socket: an emulated legacy
 // Modbus device is exposed through its adapter as canonical resources.
-func runGateway(listen string) {
+func runGateway(listen, httpAddr string, pprofOn bool) {
 	tr, err := coap.NewUDPTransport(listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iiotgw: %v\n", err)
@@ -43,6 +77,15 @@ func runGateway(listen string) {
 	}
 	conn := coap.NewConn(tr, &coap.SystemScheduler{}, coap.ConnConfig{})
 	defer conn.Close()
+
+	mreg := metrics.NewRegistry()
+	requests := func(resource string) *metrics.Counter {
+		return mreg.CounterWith("gw.requests", metrics.L("resource", resource))
+	}
+	if httpAddr != "" {
+		serveObservability(httpAddr, mreg, pprofOn)
+		fmt.Printf("iiotgw: metrics on http://%s/metrics (pprof: %v)\n", httpAddr, pprofOn)
+	}
 
 	// One legacy device behind its adapter.
 	mb := adapter.NewModbusAdapter()
@@ -71,6 +114,7 @@ func runGateway(listen string) {
 	srv := coap.NewServer()
 	srv.Resource("registry/devices").ResourceType("iiot.registry").Get(
 		func(string, *coap.Message) *coap.Message {
+			requests("registry").Inc()
 			var sb strings.Builder
 			for _, d := range reg.All() {
 				fmt.Fprintf(&sb, "%s vendor=%s model=%s proto=%s\n", d.ID, d.Vendor, d.Model, d.Protocol)
@@ -79,6 +123,7 @@ func runGateway(listen string) {
 		})
 	srv.Resource("devices/press-1/temp").ResourceType("iiot.sensor").Observable().Get(
 		func(string, *coap.Message) *coap.Message {
+			requests("temp").Inc()
 			obs, err := mb.Decode(dev, emu.Frame(), time.Duration(time.Now().UnixNano()))
 			if err != nil {
 				return coap.ErrorResponse(coap.CodeInternalServerError, err.Error())
@@ -92,6 +137,7 @@ func runGateway(listen string) {
 		})
 	srv.Resource("devices/press-1/setpoint").ResourceType("iiot.actuator").Put(
 		func(_ string, req *coap.Message) *coap.Message {
+			requests("setpoint").Inc()
 			var v float64
 			if _, err := fmt.Sscanf(string(req.Payload), "%f", &v); err != nil {
 				return coap.ErrorResponse(coap.CodeBadRequest, "want a number")

@@ -22,7 +22,11 @@ import (
 	"iiotds/internal/fault"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
+
+// unsetNode marks -trace-node as not given (any real node ID is small).
+const unsetNode = 1 << 30
 
 func main() {
 	nodes := flag.Int("nodes", 25, "number of nodes (node 0 is the border router)")
@@ -35,6 +39,11 @@ func main() {
 	kills := flag.String("kill", "", "fault schedule, e.g. 12@60s,7@90s (node@time)")
 	query := flag.Bool("query", true, "run a continuous AVG(temp) aggregation query")
 	epoch := flag.Duration("epoch", 10*time.Second, "aggregation epoch")
+	traceOut := flag.String("trace-out", "", "write the deployment's flight-recorder events (JSONL) to this file")
+	traceCap := flag.Int("trace-capacity", 1<<16, "flight-recorder ring capacity (with -trace-out)")
+	traceNode := flag.Int("trace-node", unsetNode, "restrict -trace-out to one node ID (-1 = network-wide events)")
+	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to one layer: radio, mac, link, rpl, coap, or bus")
+	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end")
 	flag.Parse()
 
 	cfg := core.Config{Seed: *seed}
@@ -59,6 +68,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "iiotsim: unknown mac %q\n", *macKind)
 		os.Exit(2)
+	}
+
+	if *traceOut != "" {
+		cfg.TraceCapacity = *traceCap
 	}
 
 	d := core.NewDeployment(cfg)
@@ -134,4 +147,50 @@ func main() {
 	worst, joules := d.M.Energy().MaxTotalJoules()
 	fmt.Printf("energy: mean %.2f J/node, worst node %d at %.2f J\n",
 		d.M.Energy().MeanTotalJoules(), worst, joules)
+
+	if *traceOut != "" {
+		f := trace.All()
+		if *traceNode != unsetNode {
+			f = f.ByNode(int32(*traceNode))
+		}
+		if *traceLayer != "" {
+			l, ok := trace.ParseLayer(*traceLayer)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "iiotsim: unknown layer %q\n", *traceLayer)
+				os.Exit(2)
+			}
+			f = f.ByLayer(l)
+		}
+		if err := writeFileWith(*traceOut, func(w *os.File) error {
+			return d.Trace.WriteJSONL(w, f)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events recorded (%d dropped by the ring), filtered dump in %s\n",
+			d.Trace.Total(), d.Trace.Dropped(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFileWith(*metricsOut, func(w *os.File) error {
+			return d.Reg.WritePrometheus(w)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: Prometheus-text snapshot in %s\n", *metricsOut)
+	}
+}
+
+// writeFileWith creates path, hands it to fn, and closes it, reporting
+// the first error.
+func writeFileWith(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

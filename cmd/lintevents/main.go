@@ -1,0 +1,100 @@
+// Command lintevents enforces the observability discipline of the
+// protocol layers: emulated-stack packages must report what happened
+// through the flight recorder (internal/trace) and the labeled metrics
+// registry (internal/metrics), never by printing. A fmt.Print*/println
+// call in a protocol layer is invisible to the deterministic trace,
+// unfilterable, and corrupts the byte-identical output contract of the
+// experiment runner — so CI fails on it.
+//
+//	lintevents            # lint the default protocol-layer packages
+//	lintevents ./foo ...  # lint the named directories instead
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// protocolLayers are the packages whose code runs inside the emulated
+// stack. Test files are exempt (tests may print diagnostics).
+var protocolLayers = []string{
+	"internal/radio",
+	"internal/mac",
+	"internal/link",
+	"internal/lowpan",
+	"internal/rpl",
+	"internal/coap",
+	"internal/bus",
+	"internal/agg",
+	"internal/trace",
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = protocolLayers
+	}
+	bad := 0
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintevents: %v\n", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			bad += lintFile(filepath.Join(dir, name))
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintevents: %d print call(s) in protocol layers — emit trace events or metrics instead\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintFile reports every fmt.Print*/print/println call in one source
+// file and returns how many it found.
+func lintFile(path string) int {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintevents: %v\n", err)
+		os.Exit(2)
+	}
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fn := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			// fmt.Print, fmt.Printf, fmt.Println (not Sprintf/Fprintf:
+			// formatting into values or explicit writers is fine).
+			if pkg, ok := fn.X.(*ast.Ident); ok && pkg.Name == "fmt" &&
+				strings.HasPrefix(fn.Sel.Name, "Print") {
+				name = "fmt." + fn.Sel.Name
+			}
+		case *ast.Ident:
+			// The predeclared print/println builtins.
+			if fn.Name == "print" || fn.Name == "println" {
+				name = fn.Name
+			}
+		}
+		if name != "" {
+			fmt.Printf("%s: %s\n", fset.Position(call.Pos()), name)
+			bad++
+		}
+		return true
+	})
+	return bad
+}

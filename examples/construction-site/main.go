@@ -116,7 +116,7 @@ func run(regime string, names []string) {
 	}
 	fmt.Printf("  cross-tenant collisions: %.0f, retries: %.0f\n",
 		reg.Counter("radio.collisions_cross_tenant").Value(),
-		reg.Counter("mac.csma.retries").Value())
+		reg.CounterWith("mac.retries", metrics.L("mac", "csma")).Value())
 }
 
 func main() {

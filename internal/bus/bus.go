@@ -12,6 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/trace"
 )
 
 // Message is one published event.
@@ -46,20 +49,49 @@ type Broker struct {
 	sync     bool
 	wg       sync.WaitGroup
 
-	// Published and Delivered count routing activity.
-	Published uint64
-	Delivered uint64
+	published *metrics.Counter
+	delivered *metrics.Counter
+
+	// rec, when set, receives publish/deliver trace events. Only sync
+	// brokers may carry a recorder: async delivery runs on subscriber
+	// goroutines and the recorder is not concurrency-safe.
+	rec *trace.Recorder
 }
 
 // NewBroker returns a running broker. Each subscriber gets a dedicated
 // delivery goroutine with a bounded queue (production semantics: one
 // slow consumer cannot block the rest).
 func NewBroker() *Broker {
-	return &Broker{
+	b := &Broker{
 		subs:     make(map[uint64]*subscription),
 		retained: make(map[string]Message),
 	}
+	b.UseRegistry(metrics.NewRegistry())
+	return b
 }
+
+// UseRegistry points the broker's routing counters ("bus.published",
+// "bus.delivered") at reg, so they appear in the deployment-wide
+// snapshot. Call before any traffic flows.
+func (b *Broker) UseRegistry(reg *metrics.Registry) {
+	b.published = reg.Counter("bus.published")
+	b.delivered = reg.Counter("bus.delivered")
+}
+
+// SetTrace installs a flight recorder. Panics on an async broker, whose
+// delivery goroutines would race on the single-threaded recorder.
+func (b *Broker) SetTrace(rec *trace.Recorder) {
+	if rec != nil && !b.sync {
+		panic("bus: SetTrace on an async broker")
+	}
+	b.rec = rec
+}
+
+// Published returns how many messages have been accepted for routing.
+func (b *Broker) Published() uint64 { return uint64(b.published.Value()) }
+
+// Delivered returns how many messages have been handed to subscribers.
+func (b *Broker) Delivered() uint64 { return uint64(b.delivered.Value()) }
 
 // NewSyncBroker returns a broker that delivers every message inline on
 // the publisher's goroutine, in subscription order, before Publish
@@ -140,10 +172,9 @@ func (b *Broker) Subscribe(pattern string, handler Handler) (*Subscription, erro
 // the caller in sync mode, through the bounded queue otherwise.
 func (b *Broker) deliver(sub *subscription, m Message) {
 	if b.sync {
+		b.rec.Emit(-1, trace.BusDeliver, int64(sub.id), int64(len(m.Payload)), 0)
 		sub.handler(m)
-		b.mu.Lock()
-		b.Delivered++
-		b.mu.Unlock()
+		b.delivered.Inc()
 		return
 	}
 	b.enqueue(sub, m)
@@ -155,9 +186,7 @@ func (b *Broker) pump(sub *subscription) {
 		select {
 		case m := <-sub.queue:
 			sub.handler(m)
-			b.mu.Lock()
-			b.Delivered++
-			b.mu.Unlock()
+			b.delivered.Inc()
 		case <-sub.done:
 			// Drain whatever is already queued, then exit.
 			for {
@@ -200,7 +229,8 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 		b.mu.Unlock()
 		return ErrClosed
 	}
-	b.Published++
+	b.published.Inc()
+	b.rec.Emit(-1, trace.BusPublish, int64(len(topic)), int64(len(m.Payload)), 0)
 	if retain {
 		r := m
 		r.Retained = true

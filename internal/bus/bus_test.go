@@ -250,8 +250,8 @@ func TestSyncDeliveryInline(t *testing.T) {
 	if len(got) != 2 || got[0] != "a/b=1" || got[1] != "a/c=2" {
 		t.Fatalf("inline delivery got %v", got)
 	}
-	if b.Delivered != 2 {
-		t.Fatalf("Delivered = %d, want 2", b.Delivered)
+	if b.Delivered() != 2 {
+		t.Fatalf("Delivered = %d, want 2", b.Delivered())
 	}
 }
 

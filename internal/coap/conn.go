@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"iiotds/internal/trace"
 )
 
 // Request/exchange errors.
@@ -110,6 +112,13 @@ type Conn struct {
 	closed    bool
 
 	server *Server
+
+	// rec, when set, receives message-layer trace events. Only install a
+	// recorder on simulation-backed endpoints: the recorder is not
+	// concurrency-safe, and only the sim mesh guarantees single-threaded
+	// callbacks.
+	rec       *trace.Recorder
+	traceNode int32
 }
 
 // NewConn creates an endpoint over tr, driven by sched.
@@ -127,6 +136,14 @@ func NewConn(tr Transport, sched Scheduler, cfg ConnConfig) *Conn {
 	}
 	tr.SetReceiver(c.onDatagram)
 	return c
+}
+
+// SetTrace installs a flight recorder on this endpoint; node is the
+// simulated node ID stamped on events. Use only on endpoints whose
+// transport and scheduler run on a single simulation kernel.
+func (c *Conn) SetTrace(rec *trace.Recorder, node int32) {
+	c.rec = rec
+	c.traceNode = node
 }
 
 // Serve installs a server (resource tree) on this endpoint.
@@ -206,6 +223,7 @@ func (c *Conn) Request(addr string, req *Message, fn ResponseFunc) {
 		req.Token = c.newToken()
 	}
 	req.MessageID = c.newMID()
+	c.rec.Emit(c.traceNode, trace.CoAPRequest, int64(req.MessageID), int64(req.Code), 0)
 	obsOpt, isObs := req.Option(OptObserve)
 	observe := isObs && obsOpt.Uint() == 0
 	st := &reqState{fn: fn, observe: observe, origReq: req, addr: addr}
@@ -327,6 +345,7 @@ func (c *Conn) armRetransmit(k string, p *outCON) {
 			delete(c.pending, k)
 			onFail := p.onFail
 			c.mu.Unlock()
+			c.rec.Emit(c.traceNode, trace.CoAPTimeout, 0, int64(p.attempts), 0)
 			if onFail != nil {
 				onFail(ErrTimeout)
 			}
@@ -336,6 +355,7 @@ func (c *Conn) armRetransmit(k string, p *outCON) {
 		c.armRetransmit(k, p)
 		data, addr := p.data, p.addr
 		c.mu.Unlock()
+		c.rec.Emit(c.traceNode, trace.CoAPRetransmit, 0, int64(p.attempts), 0)
 		_ = c.tr.Send(addr, data)
 	})
 }
@@ -443,6 +463,7 @@ func (c *Conn) handleResponse(from string, m *Message) {
 	}
 	fn := st.fn
 	c.mu.Unlock()
+	c.rec.Emit(c.traceNode, trace.CoAPResponse, int64(m.MessageID), int64(m.Code), 0)
 	fn(m, nil)
 }
 

@@ -31,6 +31,7 @@ import (
 	"iiotds/internal/rpl"
 	"iiotds/internal/sim"
 	"iiotds/internal/store"
+	"iiotds/internal/trace"
 )
 
 // MACKind selects the medium-access discipline for all nodes.
@@ -69,6 +70,10 @@ type Config struct {
 	WithCoAP bool
 	// WithBackend creates the broker and time-series store tiers.
 	WithBackend bool
+	// TraceCapacity sizes the deployment's flight-recorder ring buffer
+	// (events retained). Zero uses trace.DefaultCapacity(); a negative
+	// value disables tracing entirely (zero-allocation emit paths).
+	TraceCapacity int
 }
 
 // Node is one emulated field device with its full protocol stack.
@@ -104,6 +109,7 @@ type Deployment struct {
 	K     *sim.Kernel
 	M     *radio.Medium
 	Reg   *metrics.Registry
+	Trace *trace.Recorder // nil when tracing is disabled
 	Nodes []*Node
 	cfg   Config
 
@@ -135,6 +141,16 @@ func NewDeployment(cfg Config) *Deployment {
 	reg := metrics.NewRegistry()
 	m := radio.NewMedium(k, cfg.Radio, reg)
 	d := &Deployment{K: k, M: m, Reg: reg, cfg: cfg}
+	traceCap := cfg.TraceCapacity
+	if traceCap == 0 {
+		traceCap = trace.DefaultCapacity()
+	}
+	if traceCap > 0 {
+		// The recorder's clock is the kernel's virtual time, so events
+		// are ordered by simulated time and byte-identical across runs.
+		d.Trace = trace.New(traceCap, k.Now)
+		m.SetRecorder(d.Trace)
+	}
 	if cfg.WithBackend {
 		// The broker delivers inline on the simulation thread: bus
 		// handlers routinely re-enter the kernel (schedule CoAP traffic,
@@ -142,6 +158,8 @@ func NewDeployment(cfg Config) *Deployment {
 		// construction, and inline delivery keeps the whole deployment
 		// deterministic (DESIGN.md §5).
 		d.Bus = bus.NewSyncBroker()
+		d.Bus.UseRegistry(reg)
+		d.Bus.SetTrace(d.Trace)
 		d.TSDB = store.NewTSDB(4096)
 		d.Registry = registry.New()
 	}
@@ -171,7 +189,9 @@ func NewDeployment(cfg Config) *Deployment {
 			n.MAC = mac.NewCSMA(m, id, ccfg)
 		}
 		n.Link = link.New(id, n.MAC)
+		n.Link.SetRecorder(d.Trace)
 		n.Router = rpl.NewRouter(k, n.Link, i == 0, 0, cfg.Router, reg)
+		n.Router.SetRecorder(d.Trace)
 		idx := i
 		n.Agg = agg.NewNode(k, n.Router, n.Link, func(attr string) (float64, bool) {
 			if d.Nodes[idx].sampler == nil {
@@ -190,6 +210,7 @@ func NewDeployment(cfg Config) *Deployment {
 				// message layer room before retransmitting.
 				AckTimeout: 4 * time.Second,
 			})
+			n.CoAP.SetTrace(d.Trace, int32(id))
 			n.Server = coap.NewServer()
 			n.CoAP.Serve(n.Server)
 		}

@@ -1,7 +1,12 @@
 package exp
 
 import (
+	"bytes"
+	"fmt"
+	"reflect"
 	"testing"
+
+	"iiotds/internal/trace"
 )
 
 // render flattens a table to the exact bytes a user sees; byte equality
@@ -54,10 +59,63 @@ func TestParallelMatchesSequential(t *testing.T) {
 			t.Errorf("%s: parallel table differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
 				r.ID, seq[r.ID], got)
 		}
-		// The aggregated kernel stats are order-independent sums/maxes, so
-		// they must match too.
-		if tab.Stats != stats[r.ID] {
+		// The aggregated kernel stats are order-independent sums/maxes
+		// (and the trace summary an order-independent merge), so they
+		// must match too.
+		if !reflect.DeepEqual(tab.Stats, stats[r.ID]) {
 			t.Errorf("%s: parallel stats %+v differ from sequential %+v", r.ID, tab.Stats, stats[r.ID])
+		}
+	}
+}
+
+// TestTraceDeterminism turns the flight recorder on and asserts the
+// strongest observability contract in ISSUE.md: for every experiment,
+// the full JSONL event stream (every trial, in trial order) plus the
+// rendered table is byte-identical between a single-worker run and a
+// fully parallel run — and therefore also between repeated runs.
+func TestTraceDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	old := trace.DefaultCapacity()
+	trace.SetDefaultCapacity(1 << 15)
+	defer trace.SetDefaultCapacity(old)
+	defer SetTraceSink(nil)
+
+	// capture renders each experiment's complete trace: a JSONL dump per
+	// trial (drained by the sink in trial-index order) plus the table.
+	capture := func() map[string]string {
+		out := map[string]string{}
+		for _, r := range All() {
+			var buf bytes.Buffer
+			SetTraceSink(func(i int, rec *trace.Recorder) {
+				fmt.Fprintf(&buf, "# trial %d\n", i)
+				if err := rec.WriteJSONL(&buf, trace.All()); err != nil {
+					t.Fatalf("%s: WriteJSONL: %v", r.ID, err)
+				}
+			})
+			tab := r.Run(Quick)
+			out[r.ID] = buf.String() + "\n" + render(tab)
+		}
+		return out
+	}
+
+	SetParallelism(1)
+	seq := capture()
+	SetParallelism(0) // default: GOMAXPROCS
+	defer SetParallelism(0)
+	par := capture()
+
+	for _, r := range All() {
+		if seq[r.ID] != par[r.ID] {
+			a, b := seq[r.ID], par[r.ID]
+			i := 0
+			for i < len(a) && i < len(b) && a[i] == b[i] {
+				i++
+			}
+			lo := max(0, i-200)
+			t.Errorf("%s: parallel trace differs from sequential at byte %d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				r.ID, i, a[lo:min(len(a), i+200)], b[lo:min(len(b), i+200)])
 		}
 	}
 }

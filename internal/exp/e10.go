@@ -26,6 +26,7 @@ func runE10(tr *Trial, n int, seed int64, trickle rpl.TrickleConfig, kills []int
 	cfg.Router.Trickle = trickle
 	d := core.NewDeployment(cfg)
 	tr.Observe(d.K)
+	tr.ObserveTrace(d.Trace)
 	d.RunUntilConverged(3 * time.Minute)
 
 	// Steady-state beaconing cost over 2 minutes. Probes and DAOs run

@@ -30,6 +30,7 @@ func runE11(tr *Trial, secured bool, msgs int, seed int64) e11Run {
 	k := sim.New(seed)
 	tr.Observe(k)
 	m := radio.NewMedium(k, radio.DefaultParams(), nil)
+	tr.ObserveMedium(k, m)
 	macs := make([]*mac.CSMA, 3)
 	for i := 0; i < 3; i++ {
 		idx := i

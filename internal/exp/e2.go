@@ -35,6 +35,7 @@ func runCollection(tr *Trial, n int, seed int64, useAgg bool, epoch, dur time.Du
 		Topology: radio.GridTopology(n, 15),
 	})
 	tr.Observe(d.K)
+	tr.ObserveTrace(d.Trace)
 	st := collectStats{n: n}
 	ok, _ := d.RunUntilConverged(3 * time.Minute)
 	st.converged = ok

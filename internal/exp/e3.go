@@ -20,6 +20,7 @@ func chainLatency(tr *Trial, hops int, seed int64, packets int, mk func(m *radio
 	// range, so the topology is a true chain.
 	params := radio.DefaultParams()
 	m := radio.NewMedium(k, params, nil)
+	tr.ObserveMedium(k, m)
 	macs := make([]mac.MAC, n)
 	for i := 0; i < n; i++ {
 		id := radio.NodeID(i)

@@ -30,7 +30,16 @@ func runE5(tr *Trial, n int, seed int64, useRNFD bool, probeEvery time.Duration,
 	}
 	d := core.NewDeployment(cfg)
 	tr.Observe(d.K)
+	tr.ObserveTrace(d.Trace)
 	d.RunUntilConverged(3 * time.Minute)
+	// Steady-state warmup before the kill, identical for both detectors.
+	// RNFD sentinels qualify on *proven* unicast history to the root
+	// (TxCount/ETX gates in rnfd.go); killing the root seconds after
+	// convergence leaves only one qualified sentinel — below quorum — so
+	// the verdict never fires. Two minutes of DAO/probe traffic lets every
+	// root neighbor accumulate that history, matching how a real
+	// deployment would have been running long before the failure.
+	d.K.RunFor(2 * time.Minute)
 
 	detectedAt := make([]sim.Time, n)
 	if !useRNFD {

@@ -49,6 +49,7 @@ func runE6(tr *Trial, kTenants, leaves int, regime e6Regime, seed int64, dur tim
 	tr.Observe(k)
 	reg := metrics.NewRegistry()
 	m := radio.NewMedium(k, radio.DefaultParams(), reg)
+	tr.ObserveMedium(k, m)
 
 	names := make([]string, kTenants)
 	for i := range names {
@@ -141,7 +142,7 @@ func runE6(tr *Trial, kTenants, leaves int, regime e6Regime, seed int64, dur tim
 		delivery = float64(totalOK) / float64(totalSent)
 		// Retries are the hidden price ARQ pays to mask contention:
 		// every one is airtime and energy burned on coexistence.
-		retriesPerMsg = reg.Counter("mac.csma.retries").Value() / float64(totalSent)
+		retriesPerMsg = reg.CounterWith("mac.retries", metrics.L("mac", "csma")).Value() / float64(totalSent)
 	}
 	crossCollisions = reg.Counter("radio.collisions_cross_tenant").Value()
 	return delivery, crossCollisions, retriesPerMsg, hops

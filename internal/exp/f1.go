@@ -44,6 +44,7 @@ func runF1(tr *Trial, rounds int) *Table {
 		WithBackend: true,
 	})
 	tr.Observe(d.K)
+	tr.ObserveTrace(d.Trace)
 	defer d.Close()
 	d.RunUntilConverged(3 * time.Minute)
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // This file is the parallel experiment runner. Experiments are parameter
@@ -45,7 +46,8 @@ type Trial struct {
 	// Index order.
 	Index int
 
-	kernels []*sim.Kernel
+	kernels   []*sim.Kernel
+	recorders []*trace.Recorder
 }
 
 // Observe registers a kernel whose scheduling counters should be folded
@@ -59,21 +61,49 @@ func (t *Trial) Observe(k *sim.Kernel) {
 	t.kernels = append(t.kernels, k)
 }
 
+// ObserveTrace registers a flight recorder whose event summary should be
+// folded into the sweep's RunStats (and handed to the trace sink, if
+// set). nil recorders are accepted and ignored, so call sites do not
+// need to gate on tracing being enabled. Safe on a nil Trial.
+func (t *Trial) ObserveTrace(rec *trace.Recorder) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.recorders = append(t.recorders, rec)
+}
+
 // RunStats aggregates the kernel counters of a sweep: events
 // scheduled/fired/canceled and pool reuse summed across trials, heap
-// depth as the per-trial high-water mark.
+// depth as the per-trial high-water mark, plus the merged trace summary
+// of every recorder the trials observed.
 type RunStats struct {
 	// Trials is the number of trials merged.
 	Trials int `json:"trials"`
 	// Events aggregates sim.Kernel.Stats across all observed kernels.
 	Events sim.Stats `json:"events"`
+	// Trace is the merged trace.Summary of all observed recorders,
+	// folded in trial-index order (the merge is associative, so the
+	// result is identical at any parallelism level).
+	Trace trace.Summary `json:"trace"`
 }
 
 // Add merges o into s.
 func (s *RunStats) Add(o RunStats) {
 	s.Trials += o.Trials
 	s.Events.Add(o.Events)
+	s.Trace.Add(o.Trace)
 }
+
+// traceSink, when set, receives every observed recorder during the
+// merge phase of RunTrials, in (trial index, registration order). It
+// runs on the caller's goroutine after all workers have drained, so the
+// sink may export full event streams (e.g. JSONL) deterministically.
+var traceSink func(trialIndex int, rec *trace.Recorder)
+
+// SetTraceSink installs fn as the recorder drain for subsequent
+// RunTrials calls; nil removes it. Not safe to change concurrently with
+// a running sweep.
+func SetTraceSink(fn func(trialIndex int, rec *trace.Recorder)) { traceSink = fn }
 
 // RunTrials runs fn for trial indices 0..n-1 across Parallelism() worker
 // goroutines and returns the results in index order, plus the aggregated
@@ -130,6 +160,12 @@ func RunTrials[R any](n int, fn func(t *Trial) R) ([]R, RunStats) {
 		}
 		for _, k := range t.kernels {
 			agg.Events.Add(k.Stats())
+		}
+		for _, rec := range t.recorders {
+			agg.Trace.Add(rec.Summary())
+			if traceSink != nil {
+				traceSink(i, rec)
+			}
 		}
 	}
 	return results, agg

@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+	"iiotds/internal/trace"
+)
+
+// ObserveMedium attaches a flight recorder to a hand-built radio medium
+// and registers it with the trial, sized by trace.DefaultCapacity().
+// Experiments that assemble their own stack (rather than going through
+// core.NewDeployment) call this right after radio.NewMedium so their
+// MAC/radio events land in the sweep's trace summary. Returns nil — and
+// records nothing — when tracing is disabled, so the emit fast paths
+// stay allocation-free.
+func (t *Trial) ObserveMedium(k *sim.Kernel, m *radio.Medium) *trace.Recorder {
+	c := trace.DefaultCapacity()
+	if c <= 0 {
+		return nil
+	}
+	rec := trace.New(c, k.Now)
+	m.SetRecorder(rec)
+	t.ObserveTrace(rec)
+	return rec
+}

@@ -9,6 +9,7 @@ import (
 
 	"iiotds/internal/mac"
 	"iiotds/internal/radio"
+	"iiotds/internal/trace"
 )
 
 // Protocol identifies an upper-layer protocol multiplexed over one MAC.
@@ -34,6 +35,7 @@ type Link struct {
 	id        radio.NodeID
 	handlers  map[Protocol]Handler
 	neighbors *Table
+	rec       *trace.Recorder
 }
 
 // New wraps m (the MAC of node id) as a link layer. It installs itself as
@@ -55,6 +57,9 @@ func (l *Link) ID() radio.NodeID { return l.id }
 // Neighbors returns the neighbor table.
 func (l *Link) Neighbors() *Table { return l.neighbors }
 
+// SetRecorder installs the flight recorder ARQ outcomes are traced into.
+func (l *Link) SetRecorder(rec *trace.Recorder) { l.rec = rec }
+
 // Handle registers the handler for proto. Registering twice panics: each
 // protocol has exactly one owner.
 func (l *Link) Handle(proto Protocol, h Handler) {
@@ -73,6 +78,13 @@ func (l *Link) Send(to radio.NodeID, proto Protocol, payload []byte, done func(o
 	l.mac.Send(to, buf, func(ok bool) {
 		if to != radio.Broadcast {
 			l.neighbors.RecordTx(to, ok)
+			typ := trace.LinkAck
+			if !ok {
+				typ = trace.LinkDrop
+			}
+			// F carries the post-update ETX estimate, making ETX evolution
+			// reconstructible from the trace alone.
+			l.rec.Emit(int32(l.id), typ, int64(to), int64(proto), l.neighbors.ETX(to))
 		}
 		if done != nil {
 			done(ok)

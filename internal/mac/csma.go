@@ -6,6 +6,7 @@ import (
 	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // CSMAConfig configures the always-on carrier-sense MAC.
@@ -164,12 +165,14 @@ func (c *CSMA) tryTransmit(backoffExp int) {
 			exp = c.cfg.MaxBackoffExp
 		}
 		slots := c.k.Rand().Int63n(1 << uint(exp))
+		c.m.Recorder().Emit(int32(c.id), trace.MACBackoff, slots+1, int64(exp), 0)
 		c.k.Schedule(time.Duration(slots+1)*c.cfg.BackoffSlot, func() {
 			c.tryTransmit(exp)
 		})
 		return
 	}
 	it := c.queue[0]
+	c.m.Recorder().Emit(int32(c.id), trace.MACTx, int64(it.to), int64(c.attempt), 0)
 	raw := encode(KindData, c.seq, it.payload)
 	air := c.m.Send(radio.Frame{
 		From: c.id, To: it.to, Channel: c.cfg.Channel, Tenant: c.cfg.Tenant,
@@ -188,11 +191,13 @@ func (c *CSMA) tryTransmit(backoffExp int) {
 func (c *CSMA) onAckTimeout() {
 	c.attempt++
 	if c.attempt > c.cfg.MaxRetries {
-		c.m.Registry().Counter("mac.csma.tx_failed").Inc()
+		c.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "csma")).Inc()
+		c.m.Recorder().Emit(int32(c.id), trace.MACTxFail, int64(c.awaitAckTo), int64(c.attempt), 0)
 		c.finish(false)
 		return
 	}
-	c.m.Registry().Counter("mac.csma.retries").Inc()
+	c.m.Registry().CounterWith("mac.retries", metrics.L("mac", "csma")).Inc()
+	c.m.Recorder().Emit(int32(c.id), trace.MACRetry, int64(c.awaitAckTo), int64(c.attempt), 0)
 	c.initialBackoff()
 }
 

@@ -6,6 +6,7 @@ import (
 	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // LPLConfig configures the low-power-listening MAC.
@@ -154,6 +155,7 @@ func (l *LPL) channelCheck() {
 	if l.stopped || l.strobing {
 		return
 	}
+	l.m.Recorder().Emit(int32(l.id), trace.MACWakeup, 0, 0, 0)
 	l.setAwake(true)
 	l.scheduleSleep(l.cfg.CheckDuration)
 }
@@ -233,7 +235,8 @@ func (l *LPL) strobeOnce(raw []byte) {
 		From: l.id, To: it.to, Channel: l.cfg.Channel, Tenant: l.cfg.Tenant,
 		Size: len(raw), Payload: raw,
 	})
-	l.m.Registry().Counter("mac.lpl.strobes").Inc()
+	l.m.Registry().CounterWith("mac.strobes", metrics.L("mac", "lpl")).Inc()
+	l.m.Recorder().Emit(int32(l.id), trace.MACStrobe, int64(it.to), 0, 0)
 	l.k.Schedule(air+l.cfg.StrobeGap, func() { l.strobeOnce(raw) })
 }
 
@@ -247,7 +250,8 @@ func (l *LPL) endStrobe(ok bool) {
 		it.done(ok)
 	}
 	if !ok {
-		l.m.Registry().Counter("mac.lpl.tx_failed").Inc()
+		l.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "lpl")).Inc()
+		l.m.Recorder().Emit(int32(l.id), trace.MACTxFail, int64(it.to), 0, 0)
 	}
 	l.startNext()
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 )
@@ -110,7 +111,7 @@ func TestCSMAFailsOnDeadLink(t *testing.T) {
 	if result {
 		t.Fatal("send over dead link reported success")
 	}
-	if m.Registry().Counter("mac.csma.retries").Value() == 0 {
+	if m.Registry().CounterWith("mac.retries", metrics.L("mac", "csma")).Value() == 0 {
 		t.Fatal("no retries recorded")
 	}
 }

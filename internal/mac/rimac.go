@@ -6,6 +6,7 @@ import (
 	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // RIMACConfig configures the receiver-initiated MAC.
@@ -155,7 +156,8 @@ func (r *RIMAC) beacon() {
 		From: r.id, To: radio.Broadcast, Channel: r.cfg.Channel,
 		Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
 	})
-	r.m.Registry().Counter("mac.rimac.beacons").Inc()
+	r.m.Registry().CounterWith("mac.beacons", metrics.L("mac", "rimac")).Inc()
+	r.m.Recorder().Emit(int32(r.id), trace.MACBeacon, 0, 0, 0)
 	r.scheduleSleep(r.cfg.Dwell)
 }
 
@@ -221,10 +223,12 @@ func (r *RIMAC) waitExpired() {
 	}
 	r.attempt++
 	if r.attempt > r.cfg.MaxRetries {
-		r.m.Registry().Counter("mac.rimac.tx_failed").Inc()
+		r.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "rimac")).Inc()
+		r.m.Recorder().Emit(int32(r.id), trace.MACTxFail, int64(it.to), int64(r.attempt), 0)
 		r.finish(false)
 		return
 	}
+	r.m.Recorder().Emit(int32(r.id), trace.MACRetry, int64(it.to), int64(r.attempt), 0)
 	// Keep waiting through another beacon period.
 	r.waitExpire = r.k.Schedule(r.cfg.BeaconInterval, func() { r.waitExpired() })
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 )
@@ -69,7 +70,7 @@ func TestRIMACLowIdleDutyCycle(t *testing.T) {
 func TestRIMACBeaconsCostReceiverNotSender(t *testing.T) {
 	k, m, _, _ := riPair(8, 250*time.Millisecond)
 	k.RunFor(time.Minute)
-	if m.Registry().Counter("mac.rimac.beacons").Value() < 100 {
+	if m.Registry().CounterWith("mac.beacons", metrics.L("mac", "rimac")).Value() < 100 {
 		t.Fatal("receivers are not beaconing")
 	}
 }

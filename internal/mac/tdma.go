@@ -7,6 +7,7 @@ import (
 	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // TDMAConfig configures the synchronized-pipeline MAC. Slots are global:
@@ -206,6 +207,7 @@ func (t *TDMA) txSlot() {
 	t.awaitAckSeq = t.seq
 	t.awaitAckTo = it.to
 	raw := encode(KindData, t.seq, it.payload)
+	t.m.Recorder().Emit(int32(t.id), trace.MACTx, int64(it.to), int64(t.attempt), 0)
 	// Listen after transmitting to catch the in-slot ACK.
 	t.m.SetListening(t.id, true)
 	air := t.m.Send(radio.Frame{
@@ -225,10 +227,12 @@ func (t *TDMA) endTxSlot(it outItem) {
 	if !ok {
 		t.attempt++
 		if t.attempt <= t.cfg.MaxRetries {
-			t.m.Registry().Counter("mac.tdma.retries").Inc()
+			t.m.Registry().CounterWith("mac.retries", metrics.L("mac", "tdma")).Inc()
+			t.m.Recorder().Emit(int32(t.id), trace.MACRetry, int64(it.to), int64(t.attempt), 0)
 			return // retry in next epoch's tx slot
 		}
-		t.m.Registry().Counter("mac.tdma.tx_failed").Inc()
+		t.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "tdma")).Inc()
+		t.m.Recorder().Emit(int32(t.id), trace.MACTxFail, int64(it.to), int64(t.attempt), 0)
 	}
 	t.queue = t.queue[1:]
 	t.seqAssigned = false

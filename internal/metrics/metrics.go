@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -103,12 +104,14 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// Mean returns the sample mean, or NaN if empty.
+// Mean returns the sample mean, or 0 if empty. Empty histograms yield
+// defined values (not NaN) so report formatting and JSON encoding never
+// have to special-case missing data.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
-		return math.NaN()
+		return 0
 	}
 	return h.sum / float64(len(h.samples))
 }
@@ -120,14 +123,14 @@ func (h *Histogram) sortLocked() {
 	}
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank, or NaN
-// if the histogram is empty.
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank. An
+// empty histogram returns 0; a single sample is every quantile.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n == 0 {
-		return math.NaN()
+		return 0
 	}
 	if q <= 0 {
 		h.sortLocked()
@@ -148,19 +151,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.samples[idx]
 }
 
-// Min returns the smallest sample, or NaN if empty.
+// Min returns the smallest sample, or 0 if empty.
 func (h *Histogram) Min() float64 { return h.Quantile(0) }
 
-// Max returns the largest sample, or NaN if empty.
+// Max returns the largest sample, or 0 if empty.
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
-// Stddev returns the population standard deviation, or NaN if empty.
+// Stddev returns the population standard deviation, or 0 if empty.
 func (h *Histogram) Stddev() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := len(h.samples)
 	if n == 0 {
-		return math.NaN()
+		return 0
 	}
 	mean := h.sum / float64(n)
 	var ss float64
@@ -169,6 +172,60 @@ func (h *Histogram) Stddev() float64 {
 		ss += d * d
 	}
 	return math.Sqrt(ss / float64(n))
+}
+
+// HistStats is a point-in-time digest of a histogram, computed in one
+// pass under the histogram's lock. All fields are defined (zero) for an
+// empty histogram.
+type HistStats struct {
+	Count  int     `json:"count"`
+	Sum    float64 `json:"sum"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Stddev float64 `json:"stddev"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
+// Stats computes the digest under the lock and returns it by value, so
+// callers format or encode it without holding any lock.
+func (h *Histogram) Stats() HistStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return HistStats{}
+	}
+	h.sortLocked()
+	mean := h.sum / float64(n)
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	rank := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return h.samples[idx]
+	}
+	return HistStats{
+		Count:  n,
+		Sum:    h.sum,
+		Mean:   mean,
+		Min:    h.samples[0],
+		Max:    h.samples[n-1],
+		Stddev: math.Sqrt(ss / float64(n)),
+		P50:    rank(0.5),
+		P90:    rank(0.9),
+		P99:    rank(0.99),
+	}
 }
 
 // Reset discards all samples.
@@ -180,72 +237,162 @@ func (h *Histogram) Reset() {
 	h.mu.Unlock()
 }
 
-// Registry is a named collection of metrics. The zero value is ready to
-// use. Lookups create metrics on demand so instrumentation sites never need
-// registration boilerplate.
+// Label is one key=value dimension of a metric series. A metric name
+// plus its sorted label set identifies a series; the same name with
+// different labels (e.g. mac="csma" vs mac="lpl") yields independent
+// series that exposition groups under one metric family.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label at an instrumentation site.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// seriesKey encodes name plus sorted labels into a unique map key.
+// 0x1f/0x1e (ASCII unit/record separators) cannot appear in sane metric
+// names or label values.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, l := range labels {
+		sb.WriteByte(0x1e)
+		sb.WriteString(l.Key)
+		sb.WriteByte(0x1f)
+		sb.WriteString(l.Value)
+	}
+	return sb.String()
+}
+
+// sortLabels returns labels sorted by key (copying only when needed) so
+// CounterWith(n, a, b) and CounterWith(n, b, a) address the same series.
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	if sort.SliceIsSorted(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key }) {
+		return labels
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+type series struct {
+	name   string
+	labels []Label // sorted by key
+}
+
+// Registry is a named collection of metric series. The zero value is
+// ready to use. Lookups create series on demand so instrumentation sites
+// never need registration boilerplate.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	meta       map[string]series // series key → identity, shared by all kinds
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
-// Counter returns the counter with the given name, creating it if needed.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) record(key, name string, labels []Label) {
+	if r.meta == nil {
+		r.meta = make(map[string]series)
+	}
+	if _, ok := r.meta[key]; !ok {
+		stored := make([]Label, len(labels))
+		copy(stored, labels)
+		r.meta[key] = series{name: name, labels: stored}
+	}
+}
+
+// Counter returns the unlabeled counter with the given name, creating it
+// if needed.
+func (r *Registry) Counter(name string) *Counter { return r.CounterWith(name) }
+
+// CounterWith returns the counter series for name plus labels, creating
+// it if needed. Label order does not matter.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.counters == nil {
 		r.counters = make(map[string]*Counter)
 	}
-	c, ok := r.counters[name]
+	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[key] = c
+		r.record(key, name, labels)
 	}
 	return c
 }
 
-// Gauge returns the gauge with the given name, creating it if needed.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns the unlabeled gauge with the given name, creating it if
+// needed.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeWith(name) }
+
+// GaugeWith returns the gauge series for name plus labels, creating it
+// if needed.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gauges == nil {
 		r.gauges = make(map[string]*Gauge)
 	}
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[key] = g
+		r.record(key, name, labels)
 	}
 	return g
 }
 
-// Histogram returns the histogram with the given name, creating it if
-// needed.
-func (r *Registry) Histogram(name string) *Histogram {
+// Histogram returns the unlabeled histogram with the given name,
+// creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram { return r.HistogramWith(name) }
+
+// HistogramWith returns the histogram series for name plus labels,
+// creating it if needed.
+func (r *Registry) HistogramWith(name string, labels ...Label) *Histogram {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.histograms == nil {
 		r.histograms = make(map[string]*Histogram)
 	}
-	h, ok := r.histograms[name]
+	h, ok := r.histograms[key]
 	if !ok {
 		h = &Histogram{}
-		r.histograms[name] = h
+		r.histograms[key] = h
+		r.record(key, name, labels)
 	}
 	return h
 }
 
-// CounterNames returns the sorted names of all counters.
+// CounterNames returns the sorted distinct names of all counter series.
 func (r *Registry) CounterNames() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.counters))
 	names := make([]string, 0, len(r.counters))
-	for n := range r.counters {
-		names = append(names, n)
+	for key := range r.counters {
+		n := r.meta[key].name
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
 	}
 	sort.Strings(names)
 	return names

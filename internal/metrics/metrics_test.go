@@ -68,8 +68,36 @@ func TestHistogramSummary(t *testing.T) {
 
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
-	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Stddev()) {
-		t.Fatal("empty histogram summaries should be NaN")
+	// Empty summaries must be defined (zero), never NaN, so reports and
+	// JSON encoders need no special-casing.
+	for name, v := range map[string]float64{
+		"Mean":     h.Mean(),
+		"Quantile": h.Quantile(0.5),
+		"Stddev":   h.Stddev(),
+		"Min":      h.Min(),
+		"Max":      h.Max(),
+	} {
+		if v != 0 {
+			t.Errorf("empty histogram %s = %v, want 0", name, v)
+		}
+	}
+	if st := h.Stats(); st != (HistStats{}) {
+		t.Errorf("empty histogram Stats = %+v, want zero", st)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	st := h.Stats()
+	if st.Count != 1 || st.Mean != 7 || st.Min != 7 || st.Max != 7 ||
+		st.P50 != 7 || st.P99 != 7 || st.Stddev != 0 {
+		t.Errorf("single-sample Stats = %+v", st)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"iiotds/internal/metrics"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // NodeID identifies a radio endpoint on a medium.
@@ -139,6 +140,7 @@ type Medium struct {
 	filter  LinkFilter
 	energy  *metrics.EnergySet
 	reg     *metrics.Registry
+	rec     *trace.Recorder
 	prrOver map[[2]NodeID]float64
 }
 
@@ -169,6 +171,13 @@ func (m *Medium) Kernel() *sim.Kernel { return m.k }
 
 // Registry returns the metrics registry used for medium counters.
 func (m *Medium) Registry() *metrics.Registry { return m.reg }
+
+// SetRecorder installs the flight recorder the medium emits trace events
+// into. nil (the default) disables tracing.
+func (m *Medium) SetRecorder(rec *trace.Recorder) { m.rec = rec }
+
+// Recorder returns the installed flight recorder (possibly nil).
+func (m *Medium) Recorder() *trace.Recorder { return m.rec }
 
 // Energy returns the per-node energy ledgers.
 func (m *Medium) Energy() *metrics.EnergySet { return m.energy }
@@ -333,6 +342,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 	m.reg.Counter("radio.tx_frames").Inc()
 	m.reg.Counter("radio.tx_bytes").Add(float64(f.Size))
 	m.energy.Ledger(int(f.From)).Spend(metrics.StateTx, air)
+	m.rec.Emit(int32(f.From), trace.RadioTx, int64(f.To), int64(f.Size), 0)
 
 	tx := &transmission{from: f.From, channel: f.Channel, tenant: f.Tenant, start: now, end: now + air}
 
@@ -349,6 +359,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 				if other.tenant != f.Tenant {
 					m.reg.Counter("radio.collisions_cross_tenant").Inc()
 				}
+				m.rec.Emit(int32(d.to), trace.RadioCollision, int64(other.from), int64(f.From), 0)
 			}
 		}
 	}
@@ -372,6 +383,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 				if other.tenant != f.Tenant {
 					m.reg.Counter("radio.collisions_cross_tenant").Inc()
 				}
+				m.rec.Emit(int32(id), trace.RadioCollision, int64(other.from), int64(f.From), 0)
 				break
 			}
 		}
@@ -379,6 +391,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 		if !d.corrupted && m.k.Rand().Float64() >= m.PRR(f.From, id) {
 			d.corrupted = true
 			m.reg.Counter("radio.dropped_loss").Inc()
+			m.rec.Emit(int32(id), trace.RadioLoss, int64(f.From), int64(f.Size), 0)
 		}
 		tx.dels = append(tx.dels, d)
 	}
@@ -407,6 +420,7 @@ func (m *Medium) complete(tx *transmission) {
 			continue
 		}
 		m.reg.Counter("radio.rx_frames").Inc()
+		m.rec.Emit(int32(d.to), trace.RadioDeliver, int64(tx.from), int64(d.frame.Size), 0)
 		n.recv.RadioReceive(d.frame)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // NoParent is the parent value of a detached node.
@@ -136,8 +137,7 @@ type Router struct {
 	joinedAt sim.Time
 	joined   bool
 
-	// ParentSwitches counts preferred-parent changes (E10).
-	ParentSwitches int
+	rec *trace.Recorder
 }
 
 // NewRouter creates a router for the node behind lnk. If isRoot is true
@@ -212,6 +212,10 @@ func (r *Router) RootDead() bool { return r.rootDead }
 
 // Trickle exposes the DIO trickle timer (for overhead accounting).
 func (r *Router) Trickle() *Trickle { return r.trickle }
+
+// SetRecorder installs the flight recorder routing events are traced
+// into. RNFD (if enabled) shares the router's recorder.
+func (r *Router) SetRecorder(rec *trace.Recorder) { r.rec = rec }
 
 // RouteCount returns the number of stored downward routes.
 func (r *Router) RouteCount() int { return len(r.downRoutes) }
@@ -298,12 +302,14 @@ func (r *Router) sendDIO() {
 	}
 	d := dio{Version: r.version, Rank: r.rank, Root: r.root}
 	r.reg.Counter("rpl.dio_sent").Inc()
+	r.rec.Emit(int32(r.id), trace.RPLDIOSent, int64(radio.Broadcast), int64(r.rank), 0)
 	r.lnk.Broadcast(link.ProtoRouting, d.encode())
 }
 
 func (r *Router) sendDIOTo(to radio.NodeID) {
 	d := dio{Version: r.version, Rank: r.rank, Root: r.root}
 	r.reg.Counter("rpl.dio_sent").Inc()
+	r.rec.Emit(int32(r.id), trace.RPLDIOSent, int64(to), int64(r.rank), 0)
 	r.lnk.Send(to, link.ProtoRouting, d.encode(), nil)
 }
 
@@ -314,6 +320,7 @@ func (r *Router) sendDAO() {
 	r.daoSeq++
 	d := dao{Target: r.id, Seq: r.daoSeq}
 	r.reg.Counter("rpl.dao_sent").Inc()
+	r.rec.Emit(int32(r.id), trace.RPLDAOSent, int64(r.parent), int64(r.daoSeq), 0)
 	parent := r.parent
 	r.lnk.Send(parent, link.ProtoRouting, d.encode(), func(ok bool) {
 		r.noteParentTx(parent, ok)
@@ -410,6 +417,7 @@ func (r *Router) onDIO(from radio.NodeID, d dio) {
 	} else if d.Version < r.version {
 		return // stale neighbor; our trickle DIO will update it
 	}
+	r.rec.Emit(int32(r.id), trace.RPLDIORecv, int64(from), int64(d.Rank), 0)
 	if r.rnfd != nil && from == r.root {
 		r.rnfd.rootHeard()
 	}
@@ -513,6 +521,7 @@ func (r *Router) detach() {
 	if r.parent == NoParent && r.rank == InfiniteRank {
 		return
 	}
+	r.rec.Emit(int32(r.id), trace.RPLDetach, 0, 0, 0)
 	r.setParent(NoParent, InfiniteRank)
 	// Poison immediately so children stop routing through us.
 	r.sendDIO()
@@ -551,12 +560,13 @@ func (r *Router) setParent(p radio.NodeID, rank uint16) {
 		return
 	}
 	changed := p != r.parent
+	old := r.parent
 	r.parent = p
 	r.rank = rank
 	r.parentFails = 0
 	if changed {
-		r.ParentSwitches++
 		r.reg.Counter("rpl.parent_switches").Inc()
+		r.rec.Emit(int32(r.id), trace.RPLParentSwitch, int64(old), int64(p), 0)
 		if p != NoParent {
 			if !r.joined {
 				r.joined = true
@@ -608,6 +618,7 @@ func (r *Router) route(d *lowpan.Datagram) error {
 	}
 	if next == NoParent {
 		r.reg.Counter("rpl.no_route_drops").Inc()
+		r.rec.Emit(int32(r.id), trace.RPLNoRoute, int64(d.Src), int64(d.Dst), 0)
 		return fmt.Errorf("%w: %d -> %d", ErrNoRoute, r.id, d.Dst)
 	}
 	frames, err := r.adapt.Encode(d)

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes every retained event matching f to w, one JSON
+// object per line, in emission order. Lines are hand-formatted (no
+// reflection) with a fixed key order, so the output is byte-identical
+// for identical event streams:
+//
+//	{"at_ns":1500000000,"node":3,"layer":"rpl","type":"dio_sent","a":-1,"b":256,"f":0}
+func (r *Recorder) WriteJSONL(w io.Writer, f Filter) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 128)
+	var err error
+	r.Each(f, func(e Event) {
+		if err != nil {
+			return
+		}
+		buf = appendEventJSON(buf[:0], e)
+		_, err = bw.Write(buf)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendEventJSON appends one JSONL line (with trailing newline) for e.
+func appendEventJSON(b []byte, e Event) []byte {
+	b = append(b, `{"at_ns":`...)
+	b = strconv.AppendInt(b, int64(e.At), 10)
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"layer":"`...)
+	b = append(b, e.Type.Layer().String()...)
+	b = append(b, `","type":"`...)
+	b = append(b, e.Type.String()...)
+	b = append(b, `","a":`...)
+	b = strconv.AppendInt(b, e.A, 10)
+	b = append(b, `,"b":`...)
+	b = strconv.AppendInt(b, e.B, 10)
+	b = append(b, `,"f":`...)
+	b = strconv.AppendFloat(b, e.F, 'g', -1, 64)
+	b = append(b, '}', '\n')
+	return b
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeCount is one (event type, count) pair of a Summary. It marshals
+// with the layer and type names so JSON reports are self-describing.
+type TypeCount struct {
+	// T is the event type (canonical ordering key).
+	T Type `json:"-"`
+	// Count is how many events of this type were emitted.
+	Count uint64 `json:"count"`
+}
+
+// MarshalJSON emits {"layer":...,"type":...,"count":...}.
+func (tc TypeCount) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"layer":%q,"type":%q,"count":%d}`,
+		tc.T.Layer().String(), tc.T.String(), tc.Count)), nil
+}
+
+// Summary is the compact per-recorder digest: exact per-type event
+// counts (independent of ring drops) in canonical type order. Summaries
+// merge associatively, so the experiment runner can fold per-trial
+// summaries in trial-index order and obtain the same result at any
+// parallelism level.
+type Summary struct {
+	// Total counts all emitted events; Dropped counts events the ring
+	// overwrote before export.
+	Total   uint64      `json:"total"`
+	Dropped uint64      `json:"dropped"`
+	Counts  []TypeCount `json:"counts,omitempty"`
+}
+
+// Summary returns the recorder's digest. On a nil recorder it returns
+// the zero Summary.
+func (r *Recorder) Summary() Summary {
+	if r == nil {
+		return Summary{}
+	}
+	s := Summary{Total: r.total, Dropped: r.Dropped()}
+	for t := Type(0); t < numTypes; t++ {
+		if c := r.counts[t]; c > 0 {
+			s.Counts = append(s.Counts, TypeCount{T: t, Count: c})
+		}
+	}
+	return s
+}
+
+// Add merges o into s: totals sum, per-type counts sum. Both operands'
+// Counts must be in canonical type order (as produced by Summary and
+// Add), which the result preserves.
+func (s *Summary) Add(o Summary) {
+	s.Total += o.Total
+	s.Dropped += o.Dropped
+	if len(o.Counts) == 0 {
+		return
+	}
+	merged := make([]TypeCount, 0, len(s.Counts)+len(o.Counts))
+	i, j := 0, 0
+	for i < len(s.Counts) && j < len(o.Counts) {
+		a, b := s.Counts[i], o.Counts[j]
+		switch {
+		case a.T == b.T:
+			merged = append(merged, TypeCount{T: a.T, Count: a.Count + b.Count})
+			i++
+			j++
+		case a.T < b.T:
+			merged = append(merged, a)
+			i++
+		default:
+			merged = append(merged, b)
+			j++
+		}
+	}
+	merged = append(merged, s.Counts[i:]...)
+	merged = append(merged, o.Counts[j:]...)
+	s.Counts = merged
+}
+
+// String renders the summary as a fixed-width table, one line per event
+// type, in canonical order — the per-experiment digest iiotbench prints.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d events (%d dropped from ring)\n", s.Total, s.Dropped)
+	for _, tc := range s.Counts {
+		fmt.Fprintf(&sb, "  %-6s %-20s %d\n", tc.T.Layer().String(), tc.T.String(), tc.Count)
+	}
+	return sb.String()
+}
