@@ -7,6 +7,7 @@
 //
 //	iiotsim -nodes 49 -topology grid -mac csma -duration 5m
 //	iiotsim -nodes 25 -mac lpl -wake 500ms -kill 12@60s,7@90s -duration 4m
+//	iiotsim -nodes 25 -profiles csma,lpl -duration 5m   # heterogeneous fleet
 package main
 
 import (
@@ -32,7 +33,8 @@ func main() {
 	nodes := flag.Int("nodes", 25, "number of nodes (node 0 is the border router)")
 	topology := flag.String("topology", "grid", "topology: grid, line, or random")
 	spacing := flag.Float64("spacing", 15, "node spacing in meters (grid/line)")
-	macKind := flag.String("mac", "csma", "MAC discipline: csma or lpl")
+	macKind := flag.String("mac", "csma", "MAC discipline: csma, lpl, or rimac")
+	profiles := flag.String("profiles", "", "comma-separated device classes cycled over nodes, e.g. csma,lpl (node 0 gets the first class; overrides -mac)")
 	wake := flag.Duration("wake", 500*time.Millisecond, "LPL wake interval")
 	duration := flag.Duration("duration", 5*time.Minute, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -46,37 +48,69 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end")
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed}
+	var positions radio.Topology
 	switch *topology {
 	case "grid":
-		cfg.Topology = radio.GridTopology(*nodes, *spacing)
+		positions = radio.GridTopology(*nodes, *spacing)
 	case "line":
-		cfg.Topology = radio.LineTopology(*nodes, *spacing)
+		positions = radio.LineTopology(*nodes, *spacing)
 	case "random":
 		rng := sim.New(*seed).Rand()
-		cfg.Topology = radio.ConnectedRandomTopology(*nodes, 120, 120, 25, rng)
+		positions = radio.ConnectedRandomTopology(*nodes, 120, 120, 25, rng)
 	default:
 		fmt.Fprintf(os.Stderr, "iiotsim: unknown topology %q\n", *topology)
 		os.Exit(2)
 	}
-	switch *macKind {
-	case "csma":
-		cfg.MAC = core.MACCSMA
-	case "lpl":
-		cfg.MAC = core.MACLPL
-		cfg.LPL.WakeInterval = *wake
-	default:
-		fmt.Fprintf(os.Stderr, "iiotsim: unknown mac %q\n", *macKind)
-		os.Exit(2)
+
+	// One device class per -profiles entry, cycled over the nodes; the
+	// plain -mac flag is the one-class special case of the same path.
+	classes := []string{*macKind}
+	if *profiles != "" {
+		classes = strings.Split(*profiles, ",")
+		for i := range classes {
+			classes[i] = strings.TrimSpace(classes[i])
+		}
+	}
+	stack := core.Stack{Seed: *seed}
+	seen := make(map[string]bool)
+	for _, class := range classes {
+		if seen[class] {
+			continue
+		}
+		seen[class] = true
+		p := core.Profile{Name: class}
+		switch class {
+		case "csma":
+			p.MAC = core.MACCSMA
+		case "lpl":
+			p.MAC = core.MACLPL
+			p.LPL.WakeInterval = *wake
+		case "rimac":
+			p.MAC = core.MACRIMAC
+		default:
+			fmt.Fprintf(os.Stderr, "iiotsim: unknown device class %q (want csma, lpl, or rimac)\n", class)
+			os.Exit(2)
+		}
+		stack.Profiles = append(stack.Profiles, p)
+	}
+	for i, pos := range positions {
+		stack.Topology = append(stack.Topology, core.NodeSpec{
+			Pos: pos, Profile: classes[i%len(classes)],
+		})
 	}
 
 	if *traceOut != "" {
-		cfg.TraceCapacity = *traceCap
+		stack.TraceCapacity = *traceCap
 	}
 
-	d := core.NewDeployment(cfg)
-	fmt.Printf("deployment: %d nodes, %s topology, %s MAC, seed %d\n",
-		*nodes, *topology, *macKind, *seed)
+	d := core.NewStack(stack)
+	if *profiles != "" {
+		fmt.Printf("deployment: %d nodes, %s topology, profiles %s (cycled), seed %d\n",
+			*nodes, *topology, strings.Join(classes, ","), *seed)
+	} else {
+		fmt.Printf("deployment: %d nodes, %s topology, %s MAC, seed %d\n",
+			*nodes, *topology, *macKind, *seed)
+	}
 
 	ok, took := d.RunUntilConverged(5 * time.Minute)
 	if !ok {

@@ -32,6 +32,7 @@ var protocolLayers = []string{
 	"internal/bus",
 	"internal/agg",
 	"internal/trace",
+	"internal/core",
 }
 
 func main() {

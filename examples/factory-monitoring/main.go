@@ -20,10 +20,12 @@ import (
 )
 
 func main() {
-	// The plant floor: 25 mesh nodes monitoring presses and conveyors.
-	d := core.NewDeployment(core.Config{
+	// The plant floor: 25 mesh nodes monitoring presses and conveyors,
+	// all one device class, plus the broker/storage backend tiers.
+	d := core.NewStack(core.Stack{
 		Seed:        7,
-		Topology:    radio.GridTopology(25, 15),
+		Profiles:    []core.Profile{{Name: "zone-sensor"}},
+		Topology:    core.Uniform("zone-sensor", radio.GridTopology(25, 15)),
 		WithBackend: true,
 	})
 	defer d.Close()

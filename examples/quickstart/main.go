@@ -17,11 +17,15 @@ import (
 
 func main() {
 	// 1. Build a deployment: a 3×3 grid of devices 15 m apart; node 0
-	//    is the border router. CoAP endpoints are attached to every node.
-	d := core.NewDeployment(core.Config{
-		Seed:     42,
-		Topology: radio.GridTopology(9, 15),
-		WithCoAP: true,
+	//    is the border router. Every node is one device class ("sensor")
+	//    with a CoAP endpoint; see examples/mixed-fleet for a deployment
+	//    that composes several classes.
+	d := core.NewStack(core.Stack{
+		Seed: 42,
+		Profiles: []core.Profile{
+			{Name: "sensor", WithCoAP: true},
+		},
+		Topology: core.Uniform("sensor", radio.GridTopology(9, 15)),
 	})
 
 	// 2. Give every field device a sensor.

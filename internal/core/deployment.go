@@ -20,7 +20,6 @@ import (
 
 	"iiotds/internal/agg"
 	"iiotds/internal/bus"
-	"iiotds/internal/clock"
 	"iiotds/internal/coap"
 	"iiotds/internal/link"
 	"iiotds/internal/lowpan"
@@ -34,7 +33,7 @@ import (
 	"iiotds/internal/trace"
 )
 
-// MACKind selects the medium-access discipline for all nodes.
+// MACKind selects the medium-access discipline for a device class.
 type MACKind int
 
 // Available MAC kinds.
@@ -44,7 +43,11 @@ const (
 	MACRIMAC
 )
 
-// Config describes a deployment.
+// Config describes a homogeneous deployment: every node gets the same
+// MAC, radio, channel, and tenant. It is a thin shim over the layered
+// Stack/Profile builder (profile.go) — Stack() expands it to a single
+// profile bound to every position — kept because most experiments and
+// tests study one device class at a time.
 type Config struct {
 	// Seed drives all simulation randomness.
 	Seed int64
@@ -85,14 +88,19 @@ type Node struct {
 	Agg    *agg.Node
 	RNFD   *rpl.RNFD
 
-	// CoAP endpoint over the mesh (nil unless Config.WithCoAP).
+	// CoAP endpoint over the mesh (nil unless the node's profile says
+	// WithCoAP).
 	CoAP   *coap.Conn
 	Server *coap.Server
 
+	profile *Profile
 	sampler agg.Sampler
 	up      bool
 	d       *Deployment
 }
+
+// Profile returns the device class this node was built from.
+func (n *Node) Profile() *Profile { return n.profile }
 
 // Addr returns the node's CoAP address on the mesh transport.
 func (n *Node) Addr() string { return strconv.Itoa(int(n.ID)) }
@@ -111,116 +119,45 @@ type Deployment struct {
 	Reg   *metrics.Registry
 	Trace *trace.Recorder // nil when tracing is disabled
 	Nodes []*Node
-	cfg   Config
+	stack Stack
 
-	// Application and storage tiers (nil unless Config.WithBackend).
+	// Application and storage tiers (nil unless Stack.WithBackend).
 	Bus      *bus.Broker
 	TSDB     *store.TSDB
 	Registry *registry.Registry
 }
 
-// NewDeployment builds and starts the full stack.
+// Stack expands the flat homogeneous Config into the layered description
+// NewStack consumes: one profile, bound to every position.
+func (c Config) Stack() Stack {
+	return Stack{
+		Seed:   c.Seed,
+		Radio:  c.Radio,
+		Router: c.Router,
+		Profiles: []Profile{{
+			Name:     DefaultProfile,
+			MAC:      c.MAC,
+			CSMA:     c.CSMA,
+			LPL:      c.LPL,
+			RIMAC:    c.RIMAC,
+			Channel:  c.Channel,
+			Tenant:   c.Tenant,
+			RNFD:     c.RNFD,
+			WithCoAP: c.WithCoAP,
+		}},
+		Topology:      Uniform(DefaultProfile, c.Topology),
+		WithBackend:   c.WithBackend,
+		TraceCapacity: c.TraceCapacity,
+	}
+}
+
+// NewDeployment builds and starts the full stack for a homogeneous
+// fleet. It is Config.Stack followed by NewStack.
 func NewDeployment(cfg Config) *Deployment {
 	if len(cfg.Topology) == 0 {
-		panic("core: empty topology")
+		panic("core: Config.Topology is empty")
 	}
-	if cfg.Radio.BitRate == 0 {
-		cfg.Radio = radio.DefaultParams()
-	}
-	if cfg.Router.Trickle.Imin == 0 {
-		cfg.Router.Trickle = rpl.TrickleConfig{Imin: 500 * time.Millisecond, Doublings: 5, K: 3}
-	}
-	if cfg.Router.DAOInterval == 0 {
-		cfg.Router.DAOInterval = 15 * time.Second
-	}
-	if cfg.Router.ParentProbeInterval == 0 {
-		cfg.Router.ParentProbeInterval = 10 * time.Second
-	}
-
-	k := sim.New(cfg.Seed)
-	reg := metrics.NewRegistry()
-	m := radio.NewMedium(k, cfg.Radio, reg)
-	d := &Deployment{K: k, M: m, Reg: reg, cfg: cfg}
-	traceCap := cfg.TraceCapacity
-	if traceCap == 0 {
-		traceCap = trace.DefaultCapacity()
-	}
-	if traceCap > 0 {
-		// The recorder's clock is the kernel's virtual time, so events
-		// are ordered by simulated time and byte-identical across runs.
-		d.Trace = trace.New(traceCap, k.Now)
-		m.SetRecorder(d.Trace)
-	}
-	if cfg.WithBackend {
-		// The broker delivers inline on the simulation thread: bus
-		// handlers routinely re-enter the kernel (schedule CoAP traffic,
-		// read the virtual clock), which is single-threaded by
-		// construction, and inline delivery keeps the whole deployment
-		// deterministic (DESIGN.md §5).
-		d.Bus = bus.NewSyncBroker()
-		d.Bus.UseRegistry(reg)
-		d.Bus.SetTrace(d.Trace)
-		d.TSDB = store.NewTSDB(4096)
-		d.Registry = registry.New()
-	}
-
-	for i := range cfg.Topology {
-		id := radio.NodeID(i)
-		n := &Node{ID: id, d: d, up: true}
-		d.Nodes = append(d.Nodes, n)
-		m.Attach(id, cfg.Topology[i], radio.ReceiverFunc(func(f radio.Frame) {
-			n.MAC.(radio.Receiver).RadioReceive(f)
-		}))
-		switch cfg.MAC {
-		case MACLPL:
-			lcfg := cfg.LPL
-			lcfg.Channel = cfg.Channel
-			lcfg.Tenant = cfg.Tenant
-			n.MAC = mac.NewLPL(m, id, lcfg)
-		case MACRIMAC:
-			rcfg := cfg.RIMAC
-			rcfg.Channel = cfg.Channel
-			rcfg.Tenant = cfg.Tenant
-			n.MAC = mac.NewRIMAC(m, id, rcfg)
-		default:
-			ccfg := cfg.CSMA
-			ccfg.Channel = cfg.Channel
-			ccfg.Tenant = cfg.Tenant
-			n.MAC = mac.NewCSMA(m, id, ccfg)
-		}
-		n.Link = link.New(id, n.MAC)
-		n.Link.SetRecorder(d.Trace)
-		n.Router = rpl.NewRouter(k, n.Link, i == 0, 0, cfg.Router, reg)
-		n.Router.SetRecorder(d.Trace)
-		idx := i
-		n.Agg = agg.NewNode(k, n.Router, n.Link, func(attr string) (float64, bool) {
-			if d.Nodes[idx].sampler == nil {
-				return 0, false
-			}
-			return d.Nodes[idx].sampler(attr)
-		})
-		if cfg.WithCoAP {
-			tr := &meshTransport{node: n}
-			n.Router.Handle(lowpan.ProtoCoAP, func(src radio.NodeID, payload []byte) {
-				tr.deliver(strconv.Itoa(int(src)), payload)
-			})
-			n.CoAP = coap.NewConn(tr, clock.Kernel{K: k}, coap.ConnConfig{
-				Seed: cfg.Seed + int64(i) + 1,
-				// The mesh is slow (multi-hop, duty-cycled): give the
-				// message layer room before retransmitting.
-				AckTimeout: 4 * time.Second,
-			})
-			n.CoAP.SetTrace(d.Trace, int32(id))
-			n.Server = coap.NewServer()
-			n.CoAP.Serve(n.Server)
-		}
-		n.MAC.Start()
-		n.Router.Start()
-		if cfg.RNFD != nil && i != 0 {
-			n.RNFD = n.Router.AttachRNFD(*cfg.RNFD)
-		}
-	}
-	return d
+	return NewStack(cfg.Stack())
 }
 
 // Root returns the border-router node.
@@ -252,19 +189,18 @@ func (d *Deployment) Recover(id radio.NodeID) {
 	d.M.SetDown(id, false)
 	n.MAC.Start()
 	n.Router.Restart()
-	if d.cfg.RNFD != nil && id != 0 {
-		n.RNFD = n.Router.AttachRNFD(*d.cfg.RNFD)
+	if n.profile.RNFD != nil && id != 0 {
+		n.RNFD = n.Router.AttachRNFD(*n.profile.RNFD)
 	}
 }
 
-// RetuneTenant implements spectrum.Retuner for single-tenant deployments:
-// every node moves to ch.
+// RetuneTenant implements spectrum.Retuner: every node whose profile
+// belongs to the named tenant moves to ch.
 func (d *Deployment) RetuneTenant(tenant string, ch uint8) {
-	if tenant != d.cfg.Tenant {
-		return
-	}
 	for _, n := range d.Nodes {
-		n.MAC.Retune(ch)
+		if n.profile.Tenant == tenant {
+			n.MAC.Retune(ch)
+		}
 	}
 }
 

@@ -1,0 +1,341 @@
+// Heterogeneous deployments (§III, §IV-C): the sensing-and-actuation
+// layer of a real facility is not one device class but many — mixed MAC
+// disciplines, vendors, channels, and administrative domains that must
+// still interoperate on one medium. This file is the layered stack
+// builder that makes such fleets expressible: a Profile describes one
+// device class, a Topology binds every node position to a profile, and
+// NewStack composes each node's per-layer stack (radio → MAC → link →
+// RPL → agg/CoAP) through replaceable Factories. The flat single-class
+// Config in deployment.go is a thin shim over this builder.
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"iiotds/internal/agg"
+	"iiotds/internal/bus"
+	"iiotds/internal/clock"
+	"iiotds/internal/coap"
+	"iiotds/internal/link"
+	"iiotds/internal/lowpan"
+	"iiotds/internal/mac"
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/registry"
+	"iiotds/internal/rpl"
+	"iiotds/internal/sim"
+	"iiotds/internal/store"
+	"iiotds/internal/trace"
+)
+
+// DefaultProfile is the name Config.Stack gives its single expanded
+// profile.
+const DefaultProfile = "default"
+
+// Profile describes one device class: the MAC discipline and its tuning,
+// the channel and administrative tenant the class operates under, an
+// optional per-class router configuration, and the class's roles (CoAP
+// endpoint, RNFD sentinel duty, default sampler). Nodes of different
+// profiles share one medium and one DODAG — heterogeneity lives below
+// the network layer, interoperation above it.
+type Profile struct {
+	// Name is the profile's identity; Topology entries reference it.
+	Name string
+	// MAC selects the discipline; the matching config below tunes it.
+	MAC   MACKind
+	CSMA  mac.CSMAConfig
+	LPL   mac.LPLConfig
+	RIMAC mac.RIMACConfig
+	// Channel tunes this class's radios; Tenant tags its frames (§IV-C).
+	Channel uint8
+	Tenant  string
+	// Router, when non-nil, overrides the deployment-wide rpl.Config for
+	// this class (e.g. mains-powered backbone routers can afford faster
+	// beaconing than duty-cycled leaves).
+	Router *rpl.Config
+	// RNFD, when non-nil, attaches the root-failure detector to this
+	// class's non-root nodes.
+	RNFD *rpl.RNFDConfig
+	// WithCoAP attaches a CoAP endpoint (server+client) to this class.
+	WithCoAP bool
+	// Sampler, when non-nil, is the class-wide default sensor; a
+	// per-node Node.SetSampler overrides it.
+	Sampler agg.Sampler
+}
+
+// NodeSpec places one node and names the device class it instantiates.
+type NodeSpec struct {
+	Pos     radio.Position
+	Profile string
+}
+
+// Topology is a heterogeneous deployment plan: one entry per node, in
+// node-ID order; index 0 is the border router.
+type Topology []NodeSpec
+
+// Uniform binds every position to the same profile — the homogeneous
+// special case the flat Config expands to.
+func Uniform(profile string, positions radio.Topology) Topology {
+	t := make(Topology, len(positions))
+	for i, pos := range positions {
+		t[i] = NodeSpec{Pos: pos, Profile: profile}
+	}
+	return t
+}
+
+// Positions strips the profile bindings back to radio positions.
+func (t Topology) Positions() radio.Topology {
+	out := make(radio.Topology, len(t))
+	for i, ns := range t {
+		out[i] = ns.Pos
+	}
+	return out
+}
+
+// Factories are the per-layer construction hooks NewStack composes each
+// node's stack through. A nil field means the default construction for
+// that layer; tests and experiments can interpose wrappers (e.g. a MAC
+// that drops every third frame) without forking the builder.
+type Factories struct {
+	// MAC builds the medium-access layer for one node of profile p.
+	MAC func(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC
+	// Link builds the framing/ARQ/ETX layer over the node's MAC.
+	Link func(id radio.NodeID, mc mac.MAC) *link.Link
+	// Router builds the RPL layer over the node's link.
+	Router func(k *sim.Kernel, lnk *link.Link, isRoot bool, root radio.NodeID, cfg rpl.Config, reg *metrics.Registry) *rpl.Router
+}
+
+// defaultMAC dispatches on the profile's MAC kind, stamping the class's
+// channel and tenant into the discipline config.
+func defaultMAC(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC {
+	switch p.MAC {
+	case MACLPL:
+		lcfg := p.LPL
+		lcfg.Channel = p.Channel
+		lcfg.Tenant = p.Tenant
+		return mac.NewLPL(m, id, lcfg)
+	case MACRIMAC:
+		rcfg := p.RIMAC
+		rcfg.Channel = p.Channel
+		rcfg.Tenant = p.Tenant
+		return mac.NewRIMAC(m, id, rcfg)
+	default:
+		ccfg := p.CSMA
+		ccfg.Channel = p.Channel
+		ccfg.Tenant = p.Tenant
+		return mac.NewCSMA(m, id, ccfg)
+	}
+}
+
+// withDefaults fills nil hooks with the default per-layer constructors.
+func (f Factories) withDefaults() Factories {
+	if f.MAC == nil {
+		f.MAC = defaultMAC
+	}
+	if f.Link == nil {
+		f.Link = link.New
+	}
+	if f.Router == nil {
+		f.Router = rpl.NewRouter
+	}
+	return f
+}
+
+// Stack describes a heterogeneous deployment: the shared substrate
+// (seed, medium, backend tiers) plus the device classes and the plan
+// binding each node to one.
+type Stack struct {
+	// Seed drives all simulation randomness.
+	Seed int64
+	// Radio parameterizes the shared medium (zero value = DefaultParams).
+	Radio radio.Params
+	// Router is the deployment-wide RPL configuration; a profile's
+	// Router field overrides it per class.
+	Router rpl.Config
+	// Profiles are the device classes; Topology references them by name.
+	Profiles []Profile
+	// Topology binds each node to a position and a profile; index 0 is
+	// the border router.
+	Topology Topology
+	// WithBackend creates the broker and time-series store tiers.
+	WithBackend bool
+	// TraceCapacity sizes the flight-recorder ring (0 = default,
+	// negative = tracing disabled).
+	TraceCapacity int
+	// Factories override per-layer construction; zero value = defaults.
+	Factories Factories
+}
+
+// applyDefaults validates the stack description and fills layer
+// defaults, panicking with the offending field's name on structural
+// errors. It is the single defaulting point for the core layer; the
+// MAC/RPL layers apply their own applyDefaults in their constructors.
+func (s *Stack) applyDefaults() {
+	if len(s.Topology) == 0 {
+		panic("core: Stack.Topology is empty")
+	}
+	if len(s.Profiles) == 0 {
+		panic("core: Stack.Profiles is empty")
+	}
+	byName := make(map[string]bool, len(s.Profiles))
+	for i := range s.Profiles {
+		name := s.Profiles[i].Name
+		if name == "" {
+			panic(fmt.Sprintf("core: Stack.Profiles[%d].Name is empty", i))
+		}
+		if byName[name] {
+			panic(fmt.Sprintf("core: Stack.Profiles[%d].Name %q is a duplicate", i, name))
+		}
+		byName[name] = true
+	}
+	for i, ns := range s.Topology {
+		if !byName[ns.Profile] {
+			panic(fmt.Sprintf("core: Stack.Topology[%d].Profile %q is not in Stack.Profiles", i, ns.Profile))
+		}
+	}
+	if s.Radio.BitRate < 0 {
+		panic("core: Stack.Radio.BitRate is negative")
+	}
+	if s.Radio.BitRate == 0 {
+		s.Radio = radio.DefaultParams()
+	}
+	applyRouterDefaults(&s.Router, "Stack.Router")
+	for i := range s.Profiles {
+		if r := s.Profiles[i].Router; r != nil {
+			applyRouterDefaults(r, fmt.Sprintf("Stack.Profiles[%d].Router", i))
+		}
+	}
+}
+
+// applyRouterDefaults fills the deployment-wide fast-converging RPL
+// defaults (the rpl layer's own zero-value defaults are tuned for
+// standalone use and converge more slowly).
+func applyRouterDefaults(c *rpl.Config, field string) {
+	if c.Trickle.Imin < 0 {
+		panic("core: " + field + ".Trickle.Imin is negative")
+	}
+	if c.DAOInterval < 0 {
+		panic("core: " + field + ".DAOInterval is negative")
+	}
+	if c.ParentProbeInterval < 0 {
+		panic("core: " + field + ".ParentProbeInterval is negative")
+	}
+	if c.Trickle.Imin == 0 {
+		c.Trickle = rpl.TrickleConfig{Imin: 500 * time.Millisecond, Doublings: 5, K: 3}
+	}
+	if c.DAOInterval == 0 {
+		c.DAOInterval = 15 * time.Second
+	}
+	if c.ParentProbeInterval == 0 {
+		c.ParentProbeInterval = 10 * time.Second
+	}
+}
+
+// profileOf returns the named profile from d's stored stack; the name is
+// known valid after applyDefaults.
+func (d *Deployment) profileOf(name string) *Profile {
+	for i := range d.stack.Profiles {
+		if d.stack.Profiles[i].Name == name {
+			return &d.stack.Profiles[i]
+		}
+	}
+	panic(fmt.Sprintf("core: unknown profile %q", name))
+}
+
+// NewStack builds and starts a heterogeneous deployment: every node's
+// stack is composed per its profile through the per-layer factories, on
+// one shared medium and (optionally) one backend.
+func NewStack(cfg Stack) *Deployment {
+	cfg.applyDefaults()
+
+	k := sim.New(cfg.Seed)
+	reg := metrics.NewRegistry()
+	m := radio.NewMedium(k, cfg.Radio, reg)
+	d := &Deployment{K: k, M: m, Reg: reg, stack: cfg}
+	traceCap := cfg.TraceCapacity
+	if traceCap == 0 {
+		traceCap = trace.DefaultCapacity()
+	}
+	if traceCap > 0 {
+		// The recorder's clock is the kernel's virtual time, so events
+		// are ordered by simulated time and byte-identical across runs.
+		d.Trace = trace.New(traceCap, k.Now)
+		m.SetRecorder(d.Trace)
+	}
+	if cfg.WithBackend {
+		// The broker delivers inline on the simulation thread: bus
+		// handlers routinely re-enter the kernel (schedule CoAP traffic,
+		// read the virtual clock), which is single-threaded by
+		// construction, and inline delivery keeps the whole deployment
+		// deterministic (DESIGN.md §5).
+		d.Bus = bus.NewSyncBroker()
+		d.Bus.UseRegistry(reg)
+		d.Bus.SetTrace(d.Trace)
+		d.TSDB = store.NewTSDB(4096)
+		d.Registry = registry.New()
+	}
+
+	f := d.stack.Factories.withDefaults()
+	for i := range d.stack.Topology {
+		ns := d.stack.Topology[i]
+		p := d.profileOf(ns.Profile)
+		id := radio.NodeID(i)
+		n := &Node{ID: id, d: d, up: true, profile: p}
+		d.Nodes = append(d.Nodes, n)
+		m.Attach(id, ns.Pos, radio.ReceiverFunc(func(fr radio.Frame) {
+			n.MAC.(radio.Receiver).RadioReceive(fr)
+		}))
+		n.MAC = f.MAC(m, id, p)
+		n.Link = f.Link(id, n.MAC)
+		n.Link.SetRecorder(d.Trace)
+		rcfg := d.stack.Router
+		if p.Router != nil {
+			rcfg = *p.Router
+		}
+		n.Router = f.Router(k, n.Link, i == 0, 0, rcfg, reg)
+		n.Router.SetRecorder(d.Trace)
+		idx := i
+		n.Agg = agg.NewNode(k, n.Router, n.Link, func(attr string) (float64, bool) {
+			if d.Nodes[idx].sampler == nil {
+				return 0, false
+			}
+			return d.Nodes[idx].sampler(attr)
+		})
+		n.sampler = p.Sampler
+		if p.WithCoAP {
+			tr := &meshTransport{node: n}
+			n.Router.Handle(lowpan.ProtoCoAP, func(src radio.NodeID, payload []byte) {
+				tr.deliver(strconv.Itoa(int(src)), payload)
+			})
+			n.CoAP = coap.NewConn(tr, clock.Kernel{K: k}, coap.ConnConfig{
+				Seed: cfg.Seed + int64(i) + 1,
+				// The mesh is slow (multi-hop, duty-cycled): give the
+				// message layer room before retransmitting.
+				AckTimeout: 4 * time.Second,
+			})
+			n.CoAP.SetTrace(d.Trace, int32(id))
+			n.Server = coap.NewServer()
+			n.CoAP.Serve(n.Server)
+		}
+		n.MAC.Start()
+		n.Router.Start()
+		if p.RNFD != nil && i != 0 {
+			n.RNFD = n.Router.AttachRNFD(*p.RNFD)
+		}
+	}
+	return d
+}
+
+// NodesByProfile returns the nodes instantiated from the named profile,
+// in node-ID order.
+func (d *Deployment) NodesByProfile(name string) []*Node {
+	var out []*Node
+	for _, n := range d.Nodes {
+		if n.profile.Name == name {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"iiotds/internal/link"
+	"iiotds/internal/mac"
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/rpl"
+	"iiotds/internal/sim"
+)
+
+// twoClassStack is a small heterogeneous fleet: a CSMA root + backbone
+// pair, with LPL leaves hung off them.
+func twoClassStack(opts func(*Stack)) Stack {
+	s := Stack{
+		Seed: 23,
+		Profiles: []Profile{
+			{Name: "backbone", MAC: MACCSMA},
+			{Name: "leaf", MAC: MACLPL, LPL: mac.LPLConfig{WakeInterval: 250 * time.Millisecond},
+				Router: &rpl.Config{Trickle: rpl.TrickleConfig{
+					Imin: 500 * time.Millisecond, Doublings: 1, K: 1 << 30,
+				}}},
+		},
+		Topology: Topology{
+			{Pos: radio.Position{}, Profile: "backbone"},
+			{Pos: radio.Position{X: 15}, Profile: "backbone"},
+			{Pos: radio.Position{X: 8, Y: 10}, Profile: "leaf"},
+			{Pos: radio.Position{X: 20, Y: 10}, Profile: "leaf"},
+		},
+	}
+	if opts != nil {
+		opts(&s)
+	}
+	return s
+}
+
+// The leaf profile above gives its class fast fixed-rate root beaconing
+// so the mixed DODAG converges quickly; see e13Fleets for the same idiom.
+
+func TestHeterogeneousStackConverges(t *testing.T) {
+	d := NewStack(twoClassStack(nil))
+	ok, _ := d.RunUntilConverged(2 * time.Minute)
+	if !ok {
+		t.Fatal("mixed CSMA/LPL stack did not converge")
+	}
+	for _, n := range d.Nodes {
+		if n.Profile() == nil {
+			t.Fatalf("node %d has no profile", n.ID)
+		}
+	}
+	if got := d.Nodes[2].MAC.Name(); got != "lpl" {
+		t.Fatalf("leaf node built %q MAC, want lpl", got)
+	}
+	if got := d.Nodes[1].MAC.Name(); got != "csma" {
+		t.Fatalf("backbone node built %q MAC, want csma", got)
+	}
+}
+
+func TestNodesByProfile(t *testing.T) {
+	d := NewStack(twoClassStack(nil))
+	backbone := d.NodesByProfile("backbone")
+	leaves := d.NodesByProfile("leaf")
+	if len(backbone) != 2 || len(leaves) != 2 {
+		t.Fatalf("NodesByProfile split %d/%d, want 2/2", len(backbone), len(leaves))
+	}
+	for _, n := range leaves {
+		if n.Profile().Name != "leaf" {
+			t.Fatalf("node %d grouped as leaf but profiled %q", n.ID, n.Profile().Name)
+		}
+	}
+	if got := d.NodesByProfile("no-such-class"); len(got) != 0 {
+		t.Fatalf("unknown profile returned %d nodes", len(got))
+	}
+}
+
+// TestFactoriesInterpose proves the per-layer seams: a custom MAC factory
+// can wrap/observe construction per profile, and the deployment still
+// runs on what it returns.
+func TestFactoriesInterpose(t *testing.T) {
+	built := map[string]int{}
+	var linkCalls, routerCalls int
+	s := twoClassStack(func(s *Stack) {
+		s.Factories = Factories{
+			MAC: func(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC {
+				built[p.Name]++
+				return defaultMAC(m, id, p)
+			},
+			Link: func(id radio.NodeID, mc mac.MAC) *link.Link {
+				linkCalls++
+				return link.New(id, mc)
+			},
+			Router: func(k *sim.Kernel, lnk *link.Link, isRoot bool, root radio.NodeID, cfg rpl.Config, reg *metrics.Registry) *rpl.Router {
+				routerCalls++
+				return rpl.NewRouter(k, lnk, isRoot, root, cfg, reg)
+			},
+		}
+	})
+	d := NewStack(s)
+	if built["backbone"] != 2 || built["leaf"] != 2 {
+		t.Fatalf("MAC factory calls per profile = %v, want 2 each", built)
+	}
+	if linkCalls != 4 || routerCalls != 4 {
+		t.Fatalf("link/router factory calls = %d/%d, want 4/4", linkCalls, routerCalls)
+	}
+	if ok, _ := d.RunUntilConverged(2 * time.Minute); !ok {
+		t.Fatal("stack with interposed factories did not converge")
+	}
+}
+
+// TestConfigStackExpansion checks the compat shim: a flat Config expands
+// to exactly one profile bound uniformly to the topology.
+func TestConfigStackExpansion(t *testing.T) {
+	cfg := Config{
+		Seed:     3,
+		Topology: radio.GridTopology(4, 15),
+		MAC:      MACLPL,
+		LPL:      mac.LPLConfig{WakeInterval: time.Second},
+		Tenant:   "acme",
+		Channel:  4,
+		WithCoAP: true,
+	}
+	s := cfg.Stack()
+	if len(s.Profiles) != 1 || s.Profiles[0].Name != DefaultProfile {
+		t.Fatalf("expanded to %d profiles (first %q)", len(s.Profiles), s.Profiles[0].Name)
+	}
+	p := s.Profiles[0]
+	if p.MAC != MACLPL || p.Tenant != "acme" || p.Channel != 4 || !p.WithCoAP {
+		t.Fatalf("profile dropped Config fields: %+v", p)
+	}
+	if len(s.Topology) != 4 {
+		t.Fatalf("topology has %d specs, want 4", len(s.Topology))
+	}
+	for i, spec := range s.Topology {
+		if spec.Profile != DefaultProfile {
+			t.Fatalf("spec %d bound to %q", i, spec.Profile)
+		}
+		if spec.Pos != cfg.Topology[i] {
+			t.Fatalf("spec %d lost its position", i)
+		}
+	}
+}
+
+func TestTopologyPositionsRoundTrip(t *testing.T) {
+	pos := radio.GridTopology(9, 10)
+	topo := Uniform("x", pos)
+	got := topo.Positions()
+	if len(got) != len(pos) {
+		t.Fatalf("Positions() returned %d, want %d", len(got), len(pos))
+	}
+	for i := range pos {
+		if got[i] != pos[i] {
+			t.Fatalf("position %d mangled: %v vs %v", i, got[i], pos[i])
+		}
+	}
+}
+
+// stackPanic runs NewStack and returns the recovered panic message.
+func stackPanic(t *testing.T, s Stack) string {
+	t.Helper()
+	msg := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		NewStack(s)
+	}()
+	if msg == "" {
+		t.Fatal("expected NewStack to panic")
+	}
+	return msg
+}
+
+// TestStackValidationNamesField checks that every structural panic names
+// the offending field, per the centralized-defaulting contract.
+func TestStackValidationNamesField(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Stack)
+		want string
+	}{
+		{"empty topology", func(s *Stack) { s.Topology = nil }, "Stack.Topology"},
+		{"no profiles", func(s *Stack) { s.Profiles = nil }, "Stack.Profiles"},
+		{"unnamed profile", func(s *Stack) { s.Profiles[1].Name = "" }, "Stack.Profiles[1].Name"},
+		{"duplicate profile", func(s *Stack) { s.Profiles[1].Name = "backbone" }, "Stack.Profiles[1].Name"},
+		{"unknown binding", func(s *Stack) { s.Topology[2].Profile = "ghost" }, `Stack.Topology[2].Profile "ghost"`},
+		{"negative trickle", func(s *Stack) { s.Router.Trickle.Imin = -time.Second }, "Stack.Router.Trickle.Imin"},
+		{"negative profile trickle", func(s *Stack) {
+			s.Profiles[1].Router.Trickle.Imin = -time.Second
+		}, "Stack.Profiles[1].Router.Trickle.Imin"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			s := twoClassStack(c.mut)
+			msg := stackPanic(t, s)
+			if !strings.Contains(msg, c.want) {
+				t.Fatalf("panic %q does not name %q", msg, c.want)
+			}
+		})
+	}
+}
+
+// TestPerProfileRouterOverride checks that a profile's Router config
+// replaces the stack-wide one for that class only.
+func TestPerProfileRouterOverride(t *testing.T) {
+	d := NewStack(twoClassStack(nil))
+	leaf := d.NodesByProfile("leaf")[0]
+	if leaf.Profile().Router == nil {
+		t.Fatal("leaf profile lost its Router override")
+	}
+	if got := leaf.Profile().Router.Trickle.Doublings; got != 1 {
+		t.Fatalf("leaf trickle doublings = %d, want the override's 1", got)
+	}
+	backbone := d.NodesByProfile("backbone")[0]
+	if backbone.Profile().Router != nil {
+		t.Fatal("backbone profile grew a Router override it was never given")
+	}
+}
+
+func TestRetuneTenantByProfile(t *testing.T) {
+	s := twoClassStack(func(s *Stack) {
+		s.Profiles[1].Tenant = "plant-b" // leaves belong to another tenant
+	})
+	d := NewStack(s)
+	d.RetuneTenant("plant-b", 9)
+	// Retuning one tenant must not touch the other class's channel: the
+	// backbone keeps delivering on channel 0 while the leaves moved.
+	for _, n := range d.NodesByProfile("leaf") {
+		if got := d.M.ChannelOf(n.ID); got != 9 {
+			t.Fatalf("leaf %d on channel %d after retune, want 9", n.ID, got)
+		}
+	}
+	for _, n := range d.NodesByProfile("backbone") {
+		if got := d.M.ChannelOf(n.ID); got != 0 {
+			t.Fatalf("backbone %d moved to channel %d, want 0", n.ID, got)
+		}
+	}
+}

@@ -115,6 +115,7 @@ func All() []Runner {
 		{"E9", E9Partitions},
 		{"E10", E10SelfHealing},
 		{"E11", E11Security},
+		{"E13", E13MixedFleet},
 		{"F1", F1ThreeTier},
 	}
 }

@@ -145,12 +145,21 @@ type reasmKey struct {
 	tag  uint16
 }
 
+// fragBitmap records which fragment offsets of one datagram have been
+// seen. Offsets are in 8-byte units, so a MaxDatagramSize datagram has
+// at most MaxDatagramSize/8 slots; three words cover them inline in the
+// buffer instead of a per-reassembly map allocation.
+type fragBitmap [(MaxDatagramSize/8 + 63) / 64]uint64
+
+func (b *fragBitmap) test(slot int) bool { return b[slot/64]&(1<<(slot%64)) != 0 }
+func (b *fragBitmap) set(slot int)       { b[slot/64] |= 1 << (slot % 64) }
+
 type reasmBuf struct {
 	created  time.Duration
 	size     int
 	received int
 	data     []byte
-	have     map[int]bool // fragment offsets seen
+	have     fragBitmap // fragment offsets seen, in 8-byte slots
 }
 
 // NewAdaptation returns an adaptation layer with compression enabled.
@@ -257,17 +266,15 @@ func (a *Adaptation) feedFragment(now time.Duration, from radio.NodeID, frame []
 
 	key := reasmKey{from: from, tag: tag}
 	buf, ok := a.reasm[key]
-	if !ok {
-		buf = &reasmBuf{created: now, size: size, data: make([]byte, size), have: make(map[int]bool)}
+	if !ok || buf.size != size {
+		// New datagram, or tag reuse with a different size: (re)start.
+		buf = &reasmBuf{created: now, size: size, data: make([]byte, size)}
 		a.reasm[key] = buf
 	}
-	if buf.size != size {
-		// Tag reuse with a different size: restart.
-		buf = &reasmBuf{created: now, size: size, data: make([]byte, size), have: make(map[int]bool)}
-		a.reasm[key] = buf
-	}
-	if !buf.have[offset] {
-		buf.have[offset] = true
+	// The overrun check above bounds offset ≤ size ≤ MaxDatagramSize, so
+	// the slot always fits the bitmap.
+	if slot := offset / 8; !buf.have.test(slot) {
+		buf.have.set(slot)
 		copy(buf.data[offset:], chunk)
 		buf.received += len(chunk)
 	}

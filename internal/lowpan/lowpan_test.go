@@ -288,3 +288,107 @@ func TestMTUTooSmallPanics(t *testing.T) {
 
 // int16ID maps an arbitrary uint16 into the NodeID space used on the wire.
 func int16ID(v uint16) radio.NodeID { return radio.NodeID(v) }
+
+// TestEvictionThenRetransmitCompletes exercises the full eviction path:
+// a partial reassembly times out, is evicted by the next Feed, and a
+// complete retransmission of the same (source, tag) datagram then
+// reassembles from a fresh buffer rather than inheriting stale bitmap
+// state from the evicted one.
+func TestEvictionThenRetransmitCompletes(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true, ReassemblyTimeout: time.Second})
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	d := &Datagram{Src: 4, Dst: 2, Proto: ProtoRaw, Seq: 9, Payload: payload}
+	frames, err := a.Encode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Feed(0, d.Src, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if a.PendingReassemblies() != 1 {
+		t.Fatal("no pending reassembly")
+	}
+	// Retransmit the whole datagram after the timeout. The first frame's
+	// Feed both evicts the stale buffer and starts the new one.
+	var got *Datagram
+	for _, f := range frames {
+		g, err := a.Feed(5*time.Second, d.Src, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			got = g
+		}
+	}
+	if got == nil {
+		t.Fatal("retransmission never completed")
+	}
+	if !equal(d, got) {
+		t.Fatal("retransmitted datagram corrupted by evicted state")
+	}
+	if a.PendingReassemblies() != 0 {
+		t.Fatal("completed reassembly not released")
+	}
+}
+
+// TestTagReuseDifferentSizeRestarts covers the sender wrapping its tag
+// counter while a stale partial under the same tag is still buffered:
+// the mismatched size must restart the buffer, and the new datagram must
+// reassemble cleanly.
+func TestTagReuseDifferentSizeRestarts(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	old := &Datagram{Src: 7, Dst: 2, Proto: ProtoRaw, Payload: make([]byte, 500)}
+	oldFrames, err := a.Encode(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Feed(0, old.Src, oldFrames[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same tag, different size: a fresh Adaptation re-issues tag 1.
+	b := NewAdaptation(Config{Compress: true})
+	payload := make([]byte, 260)
+	for i := range payload {
+		payload[i] = byte(255 - i)
+	}
+	next := &Datagram{Src: 7, Dst: 2, Proto: ProtoRaw, Seq: 1, Payload: payload}
+	nextFrames, err := b.Encode(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Datagram
+	for _, f := range nextFrames {
+		g, err := a.Feed(0, next.Src, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != nil {
+			got = g
+		}
+	}
+	if got == nil {
+		t.Fatal("reused tag never completed")
+	}
+	if !equal(next, got) {
+		t.Fatal("reused tag reassembled corrupted datagram")
+	}
+}
+
+// TestMaxSizeDatagramUsesTopBitmapSlot reassembles a MaxDatagramSize
+// datagram, driving the fragment bitmap to its highest slot.
+func TestMaxSizeDatagramUsesTopBitmapSlot(t *testing.T) {
+	a := NewAdaptation(Config{Compress: true})
+	payload := make([]byte, MaxDatagramSize-compressedHeaderLen)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: payload}
+	got := roundTrip(t, a, d)
+	if !equal(d, got) {
+		t.Fatal("max-size round trip mismatch")
+	}
+}

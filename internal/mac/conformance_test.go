@@ -1,0 +1,248 @@
+package mac
+
+// Conformance suite: every discipline behind the MAC interface shares one
+// observable contract — idempotent Start/Stop, immediate done(false) when
+// not started, failed queued sends on Stop, FIFO delivery, duplicate
+// suppression under ACK loss, and channel retuning. Each test body runs
+// once per discipline so a new MAC gets the whole contract checked by
+// adding one table entry.
+
+import (
+	"testing"
+	"time"
+
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// conformanceCase adapts one discipline to the shared suite. settle gives
+// duty-cycled MACs time to establish wake/beacon schedules before the
+// first send; window bounds how long one delivery may take.
+type conformanceCase struct {
+	name   string
+	mk     func(m *radio.Medium, id radio.NodeID) MAC
+	settle time.Duration
+	window time.Duration
+}
+
+func conformanceCases() []conformanceCase {
+	return []conformanceCase{
+		{
+			name: "csma",
+			mk: func(m *radio.Medium, id radio.NodeID) MAC {
+				return NewCSMA(m, id, CSMAConfig{Config: Config{MaxRetries: 10}})
+			},
+			settle: 100 * time.Millisecond,
+			window: time.Second,
+		},
+		{
+			name: "lpl",
+			mk: func(m *radio.Medium, id radio.NodeID) MAC {
+				return NewLPL(m, id, LPLConfig{WakeInterval: 200 * time.Millisecond, Config: Config{MaxRetries: 10}})
+			},
+			settle: time.Second,
+			window: 3 * time.Second,
+		},
+		{
+			name: "rimac",
+			mk: func(m *radio.Medium, id radio.NodeID) MAC {
+				return NewRIMAC(m, id, RIMACConfig{BeaconInterval: 200 * time.Millisecond, Config: Config{MaxRetries: 10}})
+			},
+			settle: time.Second,
+			window: 3 * time.Second,
+		},
+	}
+}
+
+// forEachMAC runs fn once per discipline as a subtest.
+func forEachMAC(t *testing.T, fn func(t *testing.T, c conformanceCase)) {
+	t.Helper()
+	for _, c := range conformanceCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) { fn(t, c) })
+	}
+}
+
+// sendAfterSettle schedules one unicast a→b after the case's settle time
+// and runs the kernel through the delivery window.
+func sendAfterSettle(k *sim.Kernel, c conformanceCase, a MAC, payload []byte, done DoneFunc) {
+	k.Schedule(c.settle, func() { a.Send(2, payload, done) })
+	k.RunFor(c.settle + c.window)
+}
+
+func TestConformanceUnicastDelivery(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk)
+		var got []byte
+		var from radio.NodeID
+		b.OnReceive(func(f radio.NodeID, p []byte) { from, got = f, p })
+		ok := false
+		sendAfterSettle(k, c, a, []byte("conform"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("unicast not acknowledged")
+		}
+		if from != 1 || string(got) != "conform" {
+			t.Fatalf("got %q from node %d", got, from)
+		}
+		if a.QueueLen() != 0 {
+			t.Fatalf("queue not drained after delivery: %d", a.QueueLen())
+		}
+	})
+}
+
+func TestConformanceStartIdempotent(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk) // buildPair already started both
+		a.Start()
+		b.Start()
+		a.Start()
+		ok := false
+		b.OnReceive(func(radio.NodeID, []byte) {})
+		sendAfterSettle(k, c, a, []byte("x"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("delivery broken by redundant Start")
+		}
+	})
+}
+
+func TestConformanceStopIdempotentAndSendFails(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		_, _, a, _ := buildPair(c.mk)
+		a.Stop()
+		a.Stop() // second Stop must be a no-op, not a panic
+		called, result := false, true
+		a.Send(2, []byte("x"), func(ok bool) { called, result = true, ok })
+		if !called || result {
+			t.Fatal("send after stop must call done(false) immediately")
+		}
+		if a.QueueLen() != 0 {
+			t.Fatal("stopped MAC queued a send")
+		}
+	})
+}
+
+func TestConformanceSendBeforeStartFails(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k := sim.New(5)
+		m := radio.NewMedium(k, radio.DefaultParams(), nil)
+		var mc MAC
+		m.Attach(1, radio.Position{}, radio.ReceiverFunc(func(f radio.Frame) { mc.(radio.Receiver).RadioReceive(f) }))
+		mc = c.mk(m, 1)
+		called, result := false, true
+		mc.Send(2, []byte("x"), func(ok bool) { called, result = true, ok })
+		if !called || result {
+			t.Fatal("send before start must call done(false) immediately")
+		}
+	})
+}
+
+func TestConformanceStopFailsQueuedSends(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		_, _, a, _ := buildPair(c.mk)
+		failed := 0
+		for i := 0; i < 3; i++ {
+			a.Send(2, []byte{byte(i)}, func(ok bool) {
+				if !ok {
+					failed++
+				}
+			})
+		}
+		a.Stop() // kernel never ran: all three are still queued or in flight
+		if failed != 3 {
+			t.Fatalf("%d/3 queued sends failed on Stop", failed)
+		}
+		if a.QueueLen() != 0 {
+			t.Fatalf("queue not cleared on Stop: %d", a.QueueLen())
+		}
+	})
+}
+
+func TestConformanceRestartDelivers(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk)
+		a.Stop()
+		b.Stop()
+		a.Start()
+		b.Start()
+		ok := false
+		sendAfterSettle(k, c, a, []byte("again"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("stop/start cycle broke delivery")
+		}
+	})
+}
+
+func TestConformanceFIFOOrder(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk)
+		var order []byte
+		b.OnReceive(func(_ radio.NodeID, p []byte) { order = append(order, p[0]) })
+		k.Schedule(c.settle, func() {
+			for i := byte(0); i < 5; i++ {
+				a.Send(2, []byte{i}, nil)
+			}
+		})
+		k.RunFor(c.settle + 5*c.window)
+		if len(order) != 5 {
+			t.Fatalf("delivered %d/5 on a clean link", len(order))
+		}
+		for i := byte(0); i < 5; i++ {
+			if order[i] != i {
+				t.Fatalf("out-of-order delivery: %v", order)
+			}
+		}
+	})
+}
+
+// TestConformanceDuplicateSuppression makes the reverse link lossy so
+// ACKs (and RI-MAC beacons) drop and senders retransmit; the receiver's
+// handler must still see each payload at most once.
+func TestConformanceDuplicateSuppression(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, m, a, b := buildPair(c.mk)
+		m.SetLinkPRR(2, 1, 0.5)
+		counts := make(map[byte]int)
+		b.OnReceive(func(_ radio.NodeID, p []byte) { counts[p[0]]++ })
+		k.Schedule(c.settle, func() {
+			for i := byte(0); i < 10; i++ {
+				i := i
+				k.Schedule(time.Duration(i)*c.window, func() { a.Send(2, []byte{i}, nil) })
+			}
+		})
+		k.RunFor(c.settle + 12*c.window)
+		delivered := 0
+		for p, n := range counts {
+			if n > 1 {
+				t.Fatalf("payload %d delivered %d times (duplicates not suppressed)", p, n)
+			}
+			delivered++
+		}
+		if delivered < 5 {
+			t.Fatalf("only %d/10 payloads delivered over 50%%-lossy reverse link with retries", delivered)
+		}
+	})
+}
+
+func TestConformanceRetune(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk)
+		a.Retune(7)
+		b.Retune(7)
+		ok := false
+		sendAfterSettle(k, c, a, []byte("ch7"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("delivery broken after both nodes retuned together")
+		}
+		// Split the pair across channels: the send must fail, not hang.
+		a.Retune(3)
+		done, result := false, true
+		k.Schedule(c.settle, func() { a.Send(2, []byte("lost"), func(r bool) { done, result = true, r }) })
+		k.RunFor(c.settle + 10*c.window)
+		if !done {
+			t.Fatal("cross-channel send never resolved")
+		}
+		if result {
+			t.Fatal("cross-channel send reported success")
+		}
+	})
+}
