@@ -15,6 +15,7 @@ import (
 	"iiotds/internal/crdt"
 	"iiotds/internal/exp"
 	"iiotds/internal/lowpan"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/registry"
 	"iiotds/internal/security"
 )
@@ -80,23 +81,27 @@ func BenchmarkCoAPUnmarshal(b *testing.B) {
 
 func BenchmarkLowpanFragmentReassemble(b *testing.B) {
 	a := lowpan.NewAdaptation(lowpan.Config{Compress: true})
+	a.UsePool(netbuf.NewPool())
 	payload := make([]byte, 512)
 	d := &lowpan.Datagram{Src: 1, Dst: 2, Proto: lowpan.ProtoCoAP, Payload: payload}
+	var scratch []*netbuf.Buffer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		frames, err := a.Encode(d)
+		frames, err := a.Encode(d, scratch[:0])
 		if err != nil {
 			b.Fatal(err)
 		}
+		scratch = frames[:0]
 		var got *lowpan.Datagram
 		for _, f := range frames {
-			g, err := a.Feed(0, 1, f)
+			g, err := a.Feed(0, 1, f.Bytes())
 			if err != nil {
 				b.Fatal(err)
 			}
 			if g != nil {
 				got = g
 			}
+			f.Release()
 		}
 		if got == nil {
 			b.Fatal("no reassembly")
@@ -153,17 +158,21 @@ func BenchmarkAblationHeaderCompression(b *testing.B) {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
 			a := lowpan.NewAdaptation(lowpan.Config{Compress: mode.compress})
+			a.UsePool(netbuf.NewPool())
 			d := &lowpan.Datagram{Src: 1, Dst: 2, Proto: lowpan.ProtoCoAP, Payload: make([]byte, 80)}
 			var bytesOut, frames int
+			var scratch []*netbuf.Buffer
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				fs, err := a.Encode(d)
+				fs, err := a.Encode(d, scratch[:0])
 				if err != nil {
 					b.Fatal(err)
 				}
+				scratch = fs[:0]
 				frames += len(fs)
 				for _, f := range fs {
-					bytesOut += len(f)
+					bytesOut += len(f.Bytes())
+					f.Release()
 				}
 			}
 			b.ReportMetric(float64(bytesOut)/float64(b.N), "bytes/datagram")

@@ -23,6 +23,7 @@ import (
 // protocolLayers are the packages whose code runs inside the emulated
 // stack. Test files are exempt (tests may print diagnostics).
 var protocolLayers = []string{
+	"internal/netbuf",
 	"internal/radio",
 	"internal/mac",
 	"internal/link",

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/trace"
 )
 
@@ -24,7 +25,10 @@ type Message struct {
 	Retained bool
 }
 
-// Handler consumes messages for one subscription.
+// Handler consumes messages for one subscription. In sync mode the
+// payload may be a view into the publisher's buffer (often a pooled
+// packet buffer from the network stack), valid only for the duration of
+// the call: copy with netbuf.CloneBytes to retain it.
 type Handler func(m Message)
 
 // ErrClosed is returned by operations on a closed broker.
@@ -232,8 +236,12 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 	b.published.Inc()
 	b.rec.Emit(-1, trace.BusPublish, int64(len(topic)), int64(len(m.Payload)), 0)
 	if retain {
+		// The retained copy outlives the publish call, so it must own its
+		// payload — the caller's slice may be a pooled-buffer view that is
+		// recycled the moment this returns.
 		r := m
 		r.Retained = true
+		r.Payload = netbuf.CloneBytes(m.Payload)
 		b.retained[topic] = r
 	}
 	parts := strings.Split(topic, "/")

@@ -321,3 +321,23 @@ func TestSyncRetainedReplayInline(t *testing.T) {
 		t.Fatalf("retained replay got %v, want [r/a r/b]", got)
 	}
 }
+
+// TestRetainedCopiesPayload pins the retained-message ownership rule:
+// the broker must own the retained payload, so a publisher reusing (or a
+// pooled packet path recycling) its slice cannot corrupt later replays.
+func TestRetainedCopiesPayload(t *testing.T) {
+	b := NewSyncBroker()
+	defer b.Close()
+	payload := []byte("v1")
+	if err := b.Publish("plant/temp", payload, true); err != nil {
+		t.Fatal(err)
+	}
+	payload[0], payload[1] = 'X', 'X' // publisher reuses its buffer
+	var got string
+	if _, err := b.Subscribe("plant/temp", func(m Message) { got = string(m.Payload) }); err != nil {
+		t.Fatal(err)
+	}
+	if got != "v1" {
+		t.Fatalf("retained replay saw %q, want %q (payload not copied)", got, "v1")
+	}
+}

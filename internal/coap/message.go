@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"iiotds/internal/netbuf"
 )
 
 // Type is the CoAP message type.
@@ -316,7 +318,7 @@ func Unmarshal(data []byte) (*Message, error) {
 		return nil, ErrTruncated
 	}
 	if tkl > 0 {
-		m.Token = append([]byte(nil), data[p:p+tkl]...)
+		m.Token = netbuf.CloneBytes(data[p : p+tkl])
 	}
 	p += tkl
 
@@ -327,7 +329,7 @@ func Unmarshal(data []byte) (*Message, error) {
 			if p >= len(data) {
 				return nil, ErrFormat // payload marker with empty payload
 			}
-			m.Payload = append([]byte(nil), data[p:]...)
+			m.Payload = netbuf.CloneBytes(data[p:])
 			return m, nil
 		}
 		db := int(data[p] >> 4)
@@ -346,10 +348,16 @@ func Unmarshal(data []byte) (*Message, error) {
 		if len(data) < p+length {
 			return nil, ErrTruncated
 		}
+		// Option numbers are 16-bit; a cumulative delta past 65535 would
+		// silently wrap OptionID to a smaller number, breaking the
+		// ascending-order invariant Marshal relies on.
+		if int(prev)+delta > 0xFFFF {
+			return nil, ErrBadOption
+		}
 		prev += OptionID(delta)
 		m.Options = append(m.Options, Option{
 			ID:    prev,
-			Value: append([]byte(nil), data[p:p+length]...),
+			Value: netbuf.CloneBytes(data[p : p+length]),
 		})
 		p += length
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"iiotds/internal/netbuf"
 )
 
 // HandlerFunc serves one request method on one resource. It returns the
@@ -158,7 +160,7 @@ func (r *Resource) addObserver(addr string, token []byte) error {
 	if _, ok := r.observers[k]; !ok && len(r.observers) >= maxObserversPerResource {
 		return ErrTooManyObservers
 	}
-	r.observers[k] = &observer{addr: addr, token: append([]byte(nil), token...)}
+	r.observers[k] = &observer{addr: addr, token: netbuf.CloneBytes(token)}
 	return nil
 }
 
@@ -295,7 +297,7 @@ func (s *Server) applyBlock2(req, resp *Message) {
 	} else {
 		end = len(resp.Payload)
 	}
-	resp.Payload = append([]byte(nil), resp.Payload[off:end]...)
+	resp.Payload = netbuf.CloneBytes(resp.Payload[off:end])
 	resp.RemoveOption(OptBlock2)
 	resp.AddUintOption(OptBlock2, num<<4|more|szx)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"iiotds/internal/clock"
+	"iiotds/internal/netbuf"
 )
 
 // Transport moves opaque CoAP datagrams between endpoints identified by
@@ -193,7 +194,7 @@ func (t *LoopTransport) Send(addr string, data []byte) error {
 	recv := dst.recv
 	dst.mu.Unlock()
 	if recv != nil {
-		recv(t.addr, append([]byte(nil), data...))
+		recv(t.addr, netbuf.CloneBytes(data))
 	}
 	return nil
 }

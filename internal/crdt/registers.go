@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"sort"
+
+	"iiotds/internal/netbuf"
 )
 
 // LWWRegister is a last-writer-wins register. Timestamps are supplied by
@@ -43,13 +45,13 @@ func (l *LWWRegister) Value() []byte { return l.Val }
 // Merge folds other into l.
 func (l *LWWRegister) Merge(other *LWWRegister) {
 	if other.wins(l) {
-		*l = LWWRegister{Val: append([]byte(nil), other.Val...), TS: other.TS, ID: other.ID}
+		*l = LWWRegister{Val: netbuf.CloneBytes(other.Val), TS: other.TS, ID: other.ID}
 	}
 }
 
 // Copy returns an independent copy.
 func (l *LWWRegister) Copy() *LWWRegister {
-	return &LWWRegister{Val: append([]byte(nil), l.Val...), TS: l.TS, ID: l.ID}
+	return &LWWRegister{Val: netbuf.CloneBytes(l.Val), TS: l.TS, ID: l.ID}
 }
 
 // Marshal serializes the register.
@@ -88,7 +90,7 @@ func (m *MVRegister) Set(id ReplicaID, val []byte) {
 		clock.Merge(v.Clock)
 	}
 	clock.Tick(id)
-	m.Versions = []MVVersion{{Val: append([]byte(nil), val...), Clock: clock}}
+	m.Versions = []MVVersion{{Val: netbuf.CloneBytes(val), Clock: clock}}
 }
 
 // Values returns the current concurrent values, sorted for determinism.
@@ -106,7 +108,7 @@ func (m *MVRegister) Merge(other *MVRegister) {
 	all := make([]MVVersion, 0, len(m.Versions)+len(other.Versions))
 	all = append(all, m.Versions...)
 	for _, v := range other.Versions {
-		all = append(all, MVVersion{Val: append([]byte(nil), v.Val...), Clock: v.Clock.Copy()})
+		all = append(all, MVVersion{Val: netbuf.CloneBytes(v.Val), Clock: v.Clock.Copy()})
 	}
 	var keep []MVVersion
 	for i, v := range all {

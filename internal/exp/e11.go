@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"iiotds/internal/mac"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/security"
 	"iiotds/internal/sim"
@@ -102,13 +103,20 @@ func runE11(tr *Trial, secured bool, msgs int, seed int64) e11Run {
 		i := i
 		k.Schedule(time.Duration(i)*200*time.Millisecond, func() {
 			reading := []byte{byte(i), 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70}
-			frame := reading
 			if secured {
-				frame = tx.Seal(reading, nil)
+				// Seal in place in a pooled buffer and hand it straight to
+				// the MAC; the attacker's capture is its own copy.
+				b := macs[1].Buffers().Get()
+				b.Append(reading)
+				tx.SealBuffer(b, nil)
+				captured = append(captured, netbuf.CloneBytes(b.Bytes()))
+				sendTimes[byte(i)] = k.Now()
+				macs[1].SendBuf(0, b, nil)
+				return
 			}
-			captured = append(captured, frame)
+			captured = append(captured, reading)
 			sendTimes[byte(i)] = k.Now()
-			macs[1].Send(0, frame, nil)
+			macs[1].Send(0, reading, nil)
 		})
 	}
 	k.RunFor(time.Duration(msgs)*200*time.Millisecond + 5*time.Second)
@@ -117,11 +125,11 @@ func runE11(tr *Trial, secured bool, msgs int, seed int64) e11Run {
 	// and injects bit-flipped variants.
 	attackStart := k.Now()
 	for i, f := range captured {
-		i, f := i, append([]byte(nil), f...)
+		i, f := i, netbuf.CloneBytes(f)
 		k.Schedule(time.Duration(i)*100*time.Millisecond, func() {
 			out.attacksTried += 2
 			macs[2].Send(0, f, nil) // replay
-			tampered := append([]byte(nil), f...)
+			tampered := netbuf.CloneBytes(f)
 			tampered[len(tampered)-1] ^= 0xFF
 			macs[2].Send(0, tampered, nil) // tamper
 		})

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"iiotds/internal/clock"
+	"iiotds/internal/netbuf"
 )
 
 // Messenger moves opaque gossip payloads between named peers. The
@@ -249,7 +250,7 @@ func (n *Network) send(from, to string, data []byte) error {
 	recv := dst.recv
 	dst.mu.Unlock()
 	if recv != nil {
-		recv(from, append([]byte(nil), data...))
+		recv(from, netbuf.CloneBytes(data))
 	}
 	return nil
 }

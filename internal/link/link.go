@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"iiotds/internal/mac"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/trace"
 )
@@ -25,7 +26,9 @@ const (
 	ProtoApp Protocol = 3
 )
 
-// Handler receives demultiplexed payloads.
+// Handler receives demultiplexed payloads. The payload is a view into a
+// pooled buffer valid only for the duration of the call; copy with
+// netbuf.CloneBytes to retain it.
 type Handler func(from radio.NodeID, payload []byte)
 
 // Link multiplexes protocols over one MAC and observes transmission
@@ -69,13 +72,27 @@ func (l *Link) Handle(proto Protocol, h Handler) {
 	l.handlers[proto] = h
 }
 
-// Send transmits payload to neighbor to under proto. done (may be nil)
-// reports link-layer delivery; the outcome also feeds the ETX estimator.
+// Buffers returns the packet-buffer pool of the underlying stack, for
+// callers that build datagrams directly into pooled buffers (SendBuf).
+func (l *Link) Buffers() *netbuf.Pool { return l.mac.Buffers() }
+
+// Send transmits payload to neighbor to under proto. The payload is
+// copied at call time into a pooled buffer, so the caller may reuse it
+// immediately. done (may be nil) reports link-layer delivery; the
+// outcome also feeds the ETX estimator.
 func (l *Link) Send(to radio.NodeID, proto Protocol, payload []byte, done func(ok bool)) {
-	buf := make([]byte, 1+len(payload))
-	buf[0] = byte(proto)
-	copy(buf[1:], payload)
-	l.mac.Send(to, buf, func(ok bool) {
+	b := l.mac.Buffers().Get()
+	b.Append(payload)
+	l.SendBuf(to, proto, b, done)
+}
+
+// SendBuf transmits b to neighbor to under proto, prepending the
+// protocol byte into b's headroom. It takes ownership of the caller's
+// reference: Retain first to keep using b afterwards. The MAC retains
+// the framed buffer across ARQ retransmissions instead of re-encoding.
+func (l *Link) SendBuf(to radio.NodeID, proto Protocol, b *netbuf.Buffer, done func(ok bool)) {
+	b.Prepend(1)[0] = byte(proto)
+	l.mac.SendBuf(to, b, func(ok bool) {
 		if to != radio.Broadcast {
 			l.neighbors.RecordTx(to, ok)
 			typ := trace.LinkAck
@@ -92,9 +109,16 @@ func (l *Link) Send(to radio.NodeID, proto Protocol, payload []byte, done func(o
 	})
 }
 
-// Broadcast transmits payload to all neighbors under proto.
+// Broadcast transmits payload to all neighbors under proto, copying it
+// at call time.
 func (l *Link) Broadcast(proto Protocol, payload []byte) {
 	l.Send(radio.Broadcast, proto, payload, nil)
+}
+
+// BroadcastBuf transmits b to all neighbors under proto, taking
+// ownership of the caller's reference.
+func (l *Link) BroadcastBuf(proto Protocol, b *netbuf.Buffer) {
+	l.SendBuf(radio.Broadcast, proto, b, nil)
 }
 
 func (l *Link) onReceive(from radio.NodeID, raw []byte) {

@@ -28,7 +28,7 @@ func FuzzEncodeFeedRoundTrip(f *testing.F) {
 			Seq:      seq,
 			Payload:  payload,
 		}
-		frames, err := a.Encode(d)
+		frames, err := encodeBytes(a, d)
 		if err != nil {
 			if err == ErrTooLarge {
 				return // oversized payloads are rejected by contract
@@ -68,7 +68,7 @@ func FuzzFeedArbitrary(f *testing.F) {
 	// Seeds: a valid unfragmented frame, a valid FRAG1, truncated
 	// variants, and hostile size/offset fields.
 	a := NewAdaptation(Config{Compress: true})
-	frames, err := a.Encode(&Datagram{Src: 1, Dst: 2, Proto: ProtoCoAP, Payload: make([]byte, 300)})
+	frames, err := encodeBytes(a, &Datagram{Src: 1, Dst: 2, Proto: ProtoCoAP, Payload: make([]byte, 300)})
 	if err != nil {
 		f.Fatal(err)
 	}

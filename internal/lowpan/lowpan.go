@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 )
 
@@ -75,13 +76,17 @@ const MaxDatagramSize = 1280
 // ErrTooLarge is returned when a datagram exceeds MaxDatagramSize.
 var ErrTooLarge = errors.New("lowpan: datagram exceeds maximum size")
 
-// encodeHeader serializes the datagram header.
-func encodeHeader(d *Datagram, compress bool) []byte {
-	n := uncompressedHeaderLen
+// headerLen returns the serialized header size under compress.
+func headerLen(compress bool) int {
 	if compress {
-		n = compressedHeaderLen
+		return compressedHeaderLen
 	}
-	buf := make([]byte, n)
+	return uncompressedHeaderLen
+}
+
+// encodeHeaderInto serializes the datagram header into buf, which must be
+// headerLen(compress) bytes of zeroed scratch.
+func encodeHeaderInto(buf []byte, d *Datagram, compress bool) {
 	buf[0] = headerVersion
 	if compress {
 		buf[0] |= flagCompressed
@@ -93,7 +98,9 @@ func encodeHeader(d *Datagram, compress bool) []byte {
 	binary.BigEndian.PutUint16(buf[7:9], d.Seq)
 	// Uncompressed headers carry the same information padded to IPv6
 	// size; the padding is what compression removes.
-	return buf
+	for i := compressedHeaderLen; i < len(buf); i++ {
+		buf[i] = 0
+	}
 }
 
 // decodeHeader parses a datagram header, returning the header length.
@@ -136,6 +143,7 @@ type Config struct {
 // It is not safe for concurrent use.
 type Adaptation struct {
 	cfg     Config
+	pool    *netbuf.Pool
 	nextTag uint16
 	reasm   map[reasmKey]*reasmBuf
 }
@@ -176,32 +184,54 @@ func NewAdaptation(cfg Config) *Adaptation {
 	return &Adaptation{cfg: cfg, reasm: make(map[reasmKey]*reasmBuf)}
 }
 
-// Encode serializes d into one or more link-frame payloads.
-func (a *Adaptation) Encode(d *Datagram) ([][]byte, error) {
-	whole := append(encodeHeader(d, a.cfg.Compress), d.Payload...)
-	if len(whole) > MaxDatagramSize {
-		return nil, ErrTooLarge
+// UsePool makes Encode draw frame buffers from p (typically the stack's
+// pool via link.Buffers()) instead of allocating fresh ones.
+func (a *Adaptation) UsePool(p *netbuf.Pool) { a.pool = p }
+
+func (a *Adaptation) get() *netbuf.Buffer {
+	if a.pool != nil {
+		return a.pool.Get()
 	}
-	if 1+len(whole) <= a.cfg.MTU {
-		frame := make([]byte, 1+len(whole))
-		frame[0] = dispUnfrag
-		copy(frame[1:], whole)
-		return [][]byte{frame}, nil
+	return netbuf.New()
+}
+
+// Encode serializes d into one or more link-frame payloads, appending
+// them to frames (pass frames[:0] of a scratch slice to amortize).
+// Ownership of the returned buffers transfers to the caller, which must
+// Release each one (handing them to link.SendBuf counts).
+//
+// The unfragmented case is zero-copy: the datagram is built once in a
+// pooled buffer and the dispatch byte goes into its headroom. Fragments
+// are per-fragment pooled copies of chunks of that buffer — true views
+// are impossible because each fragment's header would overwrite the
+// neighboring chunk's trailing bytes.
+func (a *Adaptation) Encode(d *Datagram, frames []*netbuf.Buffer) ([]*netbuf.Buffer, error) {
+	hlen := headerLen(a.cfg.Compress)
+	if hlen+len(d.Payload) > MaxDatagramSize {
+		return frames, ErrTooLarge
+	}
+	whole := a.get()
+	encodeHeaderInto(whole.Extend(hlen), d, a.cfg.Compress)
+	whole.Append(d.Payload)
+	size := whole.Len()
+	if 1+size <= a.cfg.MTU {
+		whole.Prepend(1)[0] = dispUnfrag
+		return append(frames, whole), nil
 	}
 	// Fragmentation. Non-final fragments carry chunks that are multiples
 	// of 8 bytes so offsets fit in a byte in 8-byte units.
+	defer whole.Release()
 	a.nextTag++
 	tag := a.nextTag
-	size := len(whole)
-	var frames [][]byte
+	raw := whole.Bytes()
 
 	first := (a.cfg.MTU - frag1HeaderLen) &^ 7
-	chunk := whole[:first]
-	f := make([]byte, frag1HeaderLen+len(chunk))
-	f[0] = dispFrag1
-	binary.BigEndian.PutUint16(f[1:3], uint16(size))
-	binary.BigEndian.PutUint16(f[3:5], tag)
-	copy(f[frag1HeaderLen:], chunk)
+	f := a.get()
+	h := f.Extend(frag1HeaderLen)
+	h[0] = dispFrag1
+	binary.BigEndian.PutUint16(h[1:3], uint16(size))
+	binary.BigEndian.PutUint16(h[3:5], tag)
+	f.Append(raw[:first])
 	frames = append(frames, f)
 
 	offset := first
@@ -211,13 +241,13 @@ func (a *Adaptation) Encode(d *Datagram) ([][]byte, error) {
 		if end > size {
 			end = size
 		}
-		chunk := whole[offset:end]
-		f := make([]byte, fragNHeaderLen+len(chunk))
-		f[0] = dispFragN
-		binary.BigEndian.PutUint16(f[1:3], uint16(size))
-		binary.BigEndian.PutUint16(f[3:5], tag)
-		f[5] = byte(offset / 8)
-		copy(f[fragNHeaderLen:], chunk)
+		f := a.get()
+		h := f.Extend(fragNHeaderLen)
+		h[0] = dispFragN
+		binary.BigEndian.PutUint16(h[1:3], uint16(size))
+		binary.BigEndian.PutUint16(h[3:5], tag)
+		h[5] = byte(offset / 8)
+		f.Append(raw[offset:end])
 		frames = append(frames, f)
 		offset = end
 	}

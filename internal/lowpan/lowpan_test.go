@@ -6,12 +6,29 @@ import (
 	"testing/quick"
 	"time"
 
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 )
 
+// encodeBytes adapts buffer-based Encode for tests that inspect frames
+// as plain byte slices: it copies each frame out and releases the
+// pooled buffers.
+func encodeBytes(a *Adaptation, d *Datagram) ([][]byte, error) {
+	bufs, err := a.Encode(d, nil)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([][]byte, len(bufs))
+	for i, b := range bufs {
+		frames[i] = netbuf.CloneBytes(b.Bytes())
+		b.Release()
+	}
+	return frames, nil
+}
+
 func roundTrip(t *testing.T, a *Adaptation, d *Datagram) *Datagram {
 	t.Helper()
-	frames, err := a.Encode(d)
+	frames, err := encodeBytes(a, d)
 	if err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
@@ -55,7 +72,7 @@ func TestFragmentedRoundTrip(t *testing.T) {
 		payload[i] = byte(i)
 	}
 	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoGossip, HopLimit: 8, Seq: 1, Payload: payload}
-	frames, err := a.Encode(d)
+	frames, err := encodeBytes(a, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +97,7 @@ func TestOutOfOrderFragments(t *testing.T) {
 		payload[i] = byte(i * 7)
 	}
 	d := &Datagram{Src: 4, Dst: 5, Proto: ProtoRaw, Seq: 9, Payload: payload}
-	frames, err := a.Encode(d)
+	frames, err := encodeBytes(a, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +121,7 @@ func TestDuplicateFragmentsHarmless(t *testing.T) {
 	a := NewAdaptation(Config{Compress: true})
 	payload := make([]byte, 250)
 	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: payload}
-	frames, _ := a.Encode(d)
+	frames, _ := encodeBytes(a, d)
 	if _, err := a.Feed(0, 1, frames[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -136,8 +153,8 @@ func TestInterleavedSourcesDoNotMix(t *testing.T) {
 		return &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: p}
 	}
 	d1, d2 := mk(0xAA), mk(0xBB)
-	f1, _ := a.Encode(d1)
-	f2, _ := a.Encode(d2)
+	f1, _ := encodeBytes(a, d1)
+	f2, _ := encodeBytes(a, d2)
 	// Interleave frames from two different link neighbors (7 and 8).
 	var got1, got2 *Datagram
 	for i := 0; i < len(f1) || i < len(f2); i++ {
@@ -164,7 +181,7 @@ func TestReassemblyExpiry(t *testing.T) {
 	a := NewAdaptation(Config{Compress: true, ReassemblyTimeout: time.Second})
 	payload := make([]byte, 300)
 	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoRaw, Payload: payload}
-	frames, _ := a.Encode(d)
+	frames, _ := encodeBytes(a, d)
 	if _, err := a.Feed(0, 1, frames[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -186,8 +203,8 @@ func TestCompressionSavesBytes(t *testing.T) {
 	c := NewAdaptation(Config{Compress: true})
 	u := NewAdaptation(Config{Compress: false})
 	d := &Datagram{Src: 1, Dst: 2, Proto: ProtoCoAP, Payload: []byte("x")}
-	fc, _ := c.Encode(d)
-	fu, _ := u.Encode(d)
+	fc, _ := encodeBytes(c, d)
+	fu, _ := encodeBytes(u, d)
 	if len(fc) != 1 || len(fu) != 1 {
 		t.Fatal("tiny datagram fragmented")
 	}
@@ -212,7 +229,7 @@ func TestUncompressedRoundTrip(t *testing.T) {
 func TestTooLarge(t *testing.T) {
 	a := NewAdaptation(Config{Compress: true})
 	d := &Datagram{Payload: make([]byte, MaxDatagramSize+1)}
-	if _, err := a.Encode(d); err != ErrTooLarge {
+	if _, err := encodeBytes(a, d); err != ErrTooLarge {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 }
@@ -256,7 +273,7 @@ func TestPropertyRoundTripAnyPayload(t *testing.T) {
 			Src: int16ID(src), Dst: int16ID(dst), Proto: Proto(proto),
 			HopLimit: hop, Seq: seq, Payload: payload,
 		}
-		frames, err := a.Encode(d)
+		frames, err := encodeBytes(a, d)
 		if err != nil {
 			return false
 		}
@@ -301,7 +318,7 @@ func TestEvictionThenRetransmitCompletes(t *testing.T) {
 		payload[i] = byte(i * 3)
 	}
 	d := &Datagram{Src: 4, Dst: 2, Proto: ProtoRaw, Seq: 9, Payload: payload}
-	frames, err := a.Encode(d)
+	frames, err := encodeBytes(a, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +358,7 @@ func TestEvictionThenRetransmitCompletes(t *testing.T) {
 func TestTagReuseDifferentSizeRestarts(t *testing.T) {
 	a := NewAdaptation(Config{Compress: true})
 	old := &Datagram{Src: 7, Dst: 2, Proto: ProtoRaw, Payload: make([]byte, 500)}
-	oldFrames, err := a.Encode(old)
+	oldFrames, err := encodeBytes(a, old)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +373,7 @@ func TestTagReuseDifferentSizeRestarts(t *testing.T) {
 		payload[i] = byte(255 - i)
 	}
 	next := &Datagram{Src: 7, Dst: 2, Proto: ProtoRaw, Seq: 1, Payload: payload}
-	nextFrames, err := b.Encode(next)
+	nextFrames, err := encodeBytes(b, next)
 	if err != nil {
 		t.Fatal(err)
 	}

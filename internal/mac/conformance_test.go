@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 )
@@ -219,6 +220,43 @@ func TestConformanceDuplicateSuppression(t *testing.T) {
 		}
 		if delivered < 5 {
 			t.Fatalf("only %d/10 payloads delivered over 50%%-lossy reverse link with retries", delivered)
+		}
+	})
+}
+
+// TestConformanceBufferContract pins the receive-side buffer contract:
+// the payload a handler sees is a view that dies when the handler
+// returns. A handler that copies (netbuf.CloneBytes) keeps correct
+// bytes; one that retains the raw view reads poison after pool reuse —
+// never another packet's bytes — and dedup/retransmission still behave.
+func TestConformanceBufferContract(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, m, a, b := buildPair(c.mk)
+		m.Buffers().SetPoison(true)
+		m.SetLinkPRR(2, 1, 0.5) // lossy ACK path: sender retransmits from its retained buffer
+		var retained, copied []byte
+		deliveries := 0
+		b.OnReceive(func(_ radio.NodeID, p []byte) {
+			deliveries++
+			retained = p // contract violation on purpose
+			copied = netbuf.CloneBytes(p)
+		})
+		ok := false
+		sendAfterSettle(k, c, a, []byte("retain-me"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("unicast not acknowledged over lossy reverse link with retries")
+		}
+		if deliveries != 1 {
+			t.Fatalf("handler fired %d times, want 1 (dedup under retransmission)", deliveries)
+		}
+		if string(copied) != "retain-me" {
+			t.Fatalf("CloneBytes copy corrupted: %q", copied)
+		}
+		// The illegally retained view was scribbled when its buffer went
+		// back to the pool — it must not silently keep the old bytes
+		// (and must never show another packet's).
+		if string(retained) == "retain-me" {
+			t.Fatal("retained view survived pool reuse un-poisoned; use-after-release would hide")
 		}
 	})
 }

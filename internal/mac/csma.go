@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
@@ -40,7 +41,7 @@ type CSMA struct {
 	cfg CSMAConfig
 
 	handler Handler
-	queue   []outItem
+	q       sendq
 	sending bool
 	seq     uint16
 	dedup   *dedup
@@ -54,6 +55,12 @@ type CSMA struct {
 	started bool
 	accrual *sim.Repeater
 	stopped bool
+
+	// Prebuilt hot-path closures: creating these per send would put an
+	// allocation on the zero-alloc path.
+	firstTryFn   func()
+	ackTimeoutFn func()
+	bcastDoneFn  func()
 }
 
 var _ MAC = (*CSMA)(nil)
@@ -63,7 +70,11 @@ var _ MAC = (*CSMA)(nil)
 // medium by the caller with this MAC as receiver, or use Attach.
 func NewCSMA(m *radio.Medium, id radio.NodeID, cfg CSMAConfig) *CSMA {
 	cfg.applyDefaults()
-	return &CSMA{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+	c := &CSMA{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+	c.firstTryFn = func() { c.tryTransmit(1) }
+	c.ackTimeoutFn = c.onAckTimeout
+	c.bcastDoneFn = func() { c.finish(true) }
+	return c
 }
 
 // Name implements MAC.
@@ -73,7 +84,10 @@ func (c *CSMA) Name() string { return "csma" }
 func (c *CSMA) OnReceive(h Handler) { c.handler = h }
 
 // QueueLen implements MAC.
-func (c *CSMA) QueueLen() int { return len(c.queue) }
+func (c *CSMA) QueueLen() int { return c.q.len() }
+
+// Buffers implements MAC.
+func (c *CSMA) Buffers() *netbuf.Pool { return c.m.Buffers() }
 
 // Retune implements MAC.
 func (c *CSMA) Retune(ch uint8) {
@@ -110,12 +124,7 @@ func (c *CSMA) Stop() {
 		c.accrual.Stop()
 	}
 	c.ackTimer.Cancel()
-	for _, it := range c.queue {
-		if it.done != nil {
-			it.done(false)
-		}
-	}
-	c.queue = nil
+	c.q.drain()
 	c.sending = false
 }
 
@@ -127,20 +136,38 @@ func (c *CSMA) Send(to radio.NodeID, payload []byte, done DoneFunc) {
 		}
 		return
 	}
-	c.queue = append(c.queue, outItem{to: to, payload: payload, done: done})
+	c.enqueue(to, copyIn(c.m.Buffers(), payload), done)
+}
+
+// SendBuf implements MAC.
+func (c *CSMA) SendBuf(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	if !c.started {
+		b.Release()
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	c.enqueue(to, b, done)
+}
+
+func (c *CSMA) enqueue(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	c.q.push(outItem{to: to, buf: b, done: done})
 	if !c.sending {
 		c.startNext()
 	}
 }
 
 func (c *CSMA) startNext() {
-	if len(c.queue) == 0 || c.stopped {
+	if c.q.len() == 0 || c.stopped {
 		c.sending = false
 		return
 	}
 	c.sending = true
 	c.attempt = 0
 	c.seq++
+	// Frame once into headroom; retransmissions reuse the same buffer.
+	frame(c.q.front().buf, KindData, c.seq)
 	// 802.15.4 performs a random backoff before the first CCA; without
 	// it, event-triggered transmissions from several nodes (e.g. all
 	// neighbors answering one broadcast) align on the same instant and
@@ -150,13 +177,13 @@ func (c *CSMA) startNext() {
 
 func (c *CSMA) initialBackoff() {
 	slots := c.k.Rand().Int63n(8) + 1
-	c.k.Schedule(time.Duration(slots)*c.cfg.BackoffSlot, func() { c.tryTransmit(1) })
+	c.k.Schedule(time.Duration(slots)*c.cfg.BackoffSlot, c.firstTryFn)
 }
 
 // tryTransmit performs carrier sense with exponential backoff, then puts
 // the frame on the air.
 func (c *CSMA) tryTransmit(backoffExp int) {
-	if c.stopped || len(c.queue) == 0 {
+	if c.stopped || c.q.len() == 0 {
 		return
 	}
 	if c.m.CarrierSense(c.id) {
@@ -171,21 +198,20 @@ func (c *CSMA) tryTransmit(backoffExp int) {
 		})
 		return
 	}
-	it := c.queue[0]
+	it := c.q.front()
 	c.m.Recorder().Emit(int32(c.id), trace.MACTx, int64(it.to), int64(c.attempt), 0)
-	raw := encode(KindData, c.seq, it.payload)
 	air := c.m.Send(radio.Frame{
 		From: c.id, To: it.to, Channel: c.cfg.Channel, Tenant: c.cfg.Tenant,
-		Size: len(raw), Payload: raw,
+		Size: it.buf.Len(), Payload: it.buf,
 	})
 	if it.to == radio.Broadcast {
 		// No ACK for broadcast: complete after airtime.
-		c.k.Schedule(air, func() { c.finish(true) })
+		c.k.Schedule(air, c.bcastDoneFn)
 		return
 	}
 	c.awaitAckSeq = c.seq
 	c.awaitAckTo = it.to
-	c.ackTimer = c.k.Schedule(air+c.cfg.AckTimeout, func() { c.onAckTimeout() })
+	c.ackTimer = c.k.Schedule(air+c.cfg.AckTimeout, c.ackTimeoutFn)
 }
 
 func (c *CSMA) onAckTimeout() {
@@ -202,11 +228,11 @@ func (c *CSMA) onAckTimeout() {
 }
 
 func (c *CSMA) finish(ok bool) {
-	if len(c.queue) == 0 {
+	if c.q.len() == 0 {
 		return
 	}
-	it := c.queue[0]
-	c.queue = c.queue[1:]
+	it := c.q.pop()
+	it.buf.Release()
 	if it.done != nil {
 		it.done(ok)
 	}
@@ -215,10 +241,10 @@ func (c *CSMA) finish(ok bool) {
 
 // RadioReceive implements radio.Receiver.
 func (c *CSMA) RadioReceive(f radio.Frame) {
-	if !c.started {
+	if !c.started || f.Payload == nil {
 		return
 	}
-	kind, seq, payload, err := decode(f.Payload)
+	kind, seq, payload, err := decode(f.Payload.Bytes())
 	if err != nil {
 		return
 	}
@@ -229,11 +255,12 @@ func (c *CSMA) RadioReceive(f radio.Frame) {
 		}
 		if f.To == c.id {
 			// ACK even duplicates: the sender may have missed our ACK.
-			ack := encode(KindAck, seq, nil)
+			ack := control(c.m.Buffers(), KindAck, seq)
 			c.m.Send(radio.Frame{
 				From: c.id, To: f.From, Channel: c.cfg.Channel,
-				Tenant: c.cfg.Tenant, Size: len(ack), Payload: ack,
+				Tenant: c.cfg.Tenant, Size: ack.Len(), Payload: ack,
 			})
+			ack.Release()
 		}
 		if c.dedup.fresh(f.From, seq) && c.handler != nil {
 			c.handler(f.From, payload)

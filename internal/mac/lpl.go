@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
@@ -55,7 +56,7 @@ type LPL struct {
 	cfg LPLConfig
 
 	handler Handler
-	queue   []outItem
+	q       sendq
 	sending bool
 	seq     uint16
 	dedup   *dedup
@@ -73,6 +74,8 @@ type LPL struct {
 	awaitAckSeq uint16
 	awaitAckTo  radio.NodeID
 	gotAck      bool
+
+	strobeFn func() // prebuilt strobeOnce closure
 }
 
 var _ MAC = (*LPL)(nil)
@@ -80,7 +83,9 @@ var _ MAC = (*LPL)(nil)
 // NewLPL creates an LPL MAC for node id on medium m.
 func NewLPL(m *radio.Medium, id radio.NodeID, cfg LPLConfig) *LPL {
 	cfg.applyDefaults()
-	return &LPL{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+	l := &LPL{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+	l.strobeFn = l.strobeOnce
+	return l
 }
 
 // Name implements MAC.
@@ -90,7 +95,10 @@ func (l *LPL) Name() string { return "lpl" }
 func (l *LPL) OnReceive(h Handler) { l.handler = h }
 
 // QueueLen implements MAC.
-func (l *LPL) QueueLen() int { return len(l.queue) }
+func (l *LPL) QueueLen() int { return l.q.len() }
+
+// Buffers implements MAC.
+func (l *LPL) Buffers() *netbuf.Pool { return l.m.Buffers() }
 
 // Retune implements MAC.
 func (l *LPL) Retune(ch uint8) {
@@ -125,12 +133,7 @@ func (l *LPL) Stop() {
 	}
 	l.sleepEv.Cancel()
 	l.setAwake(false)
-	for _, it := range l.queue {
-		if it.done != nil {
-			it.done(false)
-		}
-	}
-	l.queue = nil
+	l.q.drain()
 	l.sending = false
 	l.strobing = false
 }
@@ -184,20 +187,36 @@ func (l *LPL) Send(to radio.NodeID, payload []byte, done DoneFunc) {
 		}
 		return
 	}
-	l.queue = append(l.queue, outItem{to: to, payload: payload, done: done})
+	l.enqueue(to, copyIn(l.m.Buffers(), payload), done)
+}
+
+// SendBuf implements MAC.
+func (l *LPL) SendBuf(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	if !l.started {
+		b.Release()
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	l.enqueue(to, b, done)
+}
+
+func (l *LPL) enqueue(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	l.q.push(outItem{to: to, buf: b, done: done})
 	if !l.sending {
 		l.startNext()
 	}
 }
 
 func (l *LPL) startNext() {
-	if len(l.queue) == 0 || l.stopped {
+	if l.q.len() == 0 || l.stopped {
 		l.sending = false
 		return
 	}
 	l.sending = true
 	l.seq++
-	it := l.queue[0]
+	it := l.q.front()
 	l.strobing = true
 	l.gotAck = false
 	l.awaitAckSeq = l.seq
@@ -206,21 +225,22 @@ func (l *LPL) startNext() {
 	// early ACK) and strobes for at most one full wake interval plus a
 	// copy, which guarantees overlap with the target's channel check.
 	l.setAwake(true)
-	raw := encode(KindData, l.seq, it.payload)
-	air := l.m.Airtime(len(raw))
+	// Frame once into headroom; every strobe copy reuses the buffer.
+	frame(it.buf, KindData, l.seq)
+	air := l.m.Airtime(it.buf.Len())
 	// Radio turnaround before the first copy: a node that starts
 	// forwarding from its receive handler must not transmit while its
 	// own link-layer ACK is still in the air.
 	turnaround := l.cfg.StrobeGap + time.Duration(l.k.Rand().Int63n(int64(2*time.Millisecond)))
 	l.strobeEnd = l.k.Now() + turnaround + l.cfg.WakeInterval + 2*(air+l.cfg.StrobeGap)
-	l.k.Schedule(turnaround, func() { l.strobeOnce(raw) })
+	l.k.Schedule(turnaround, l.strobeFn)
 }
 
-func (l *LPL) strobeOnce(raw []byte) {
+func (l *LPL) strobeOnce() {
 	if l.stopped || !l.strobing {
 		return
 	}
-	it := l.queue[0]
+	it := l.q.front()
 	if l.gotAck {
 		l.endStrobe(true)
 		return
@@ -233,19 +253,19 @@ func (l *LPL) strobeOnce(raw []byte) {
 	}
 	air := l.m.Send(radio.Frame{
 		From: l.id, To: it.to, Channel: l.cfg.Channel, Tenant: l.cfg.Tenant,
-		Size: len(raw), Payload: raw,
+		Size: it.buf.Len(), Payload: it.buf,
 	})
 	l.m.Registry().CounterWith("mac.strobes", metrics.L("mac", "lpl")).Inc()
 	l.m.Recorder().Emit(int32(l.id), trace.MACStrobe, int64(it.to), 0, 0)
-	l.k.Schedule(air+l.cfg.StrobeGap, func() { l.strobeOnce(raw) })
+	l.k.Schedule(air+l.cfg.StrobeGap, l.strobeFn)
 }
 
 func (l *LPL) endStrobe(ok bool) {
 	l.strobing = false
 	// Return to duty-cycled sleep shortly after finishing.
 	l.scheduleSleep(l.cfg.StrobeGap)
-	it := l.queue[0]
-	l.queue = l.queue[1:]
+	it := l.q.pop()
+	it.buf.Release()
 	if it.done != nil {
 		it.done(ok)
 	}
@@ -258,10 +278,10 @@ func (l *LPL) endStrobe(ok bool) {
 
 // RadioReceive implements radio.Receiver.
 func (l *LPL) RadioReceive(f radio.Frame) {
-	if !l.started {
+	if !l.started || f.Payload == nil {
 		return
 	}
-	kind, seq, payload, err := decode(f.Payload)
+	kind, seq, payload, err := decode(f.Payload.Bytes())
 	if err != nil {
 		return
 	}
@@ -273,11 +293,12 @@ func (l *LPL) RadioReceive(f radio.Frame) {
 			return
 		}
 		if f.To == l.id {
-			ack := encode(KindAck, seq, nil)
+			ack := control(l.m.Buffers(), KindAck, seq)
 			l.m.Send(radio.Frame{
 				From: l.id, To: f.From, Channel: l.cfg.Channel,
-				Tenant: l.cfg.Tenant, Size: len(ack), Payload: ack,
+				Tenant: l.cfg.Tenant, Size: ack.Len(), Payload: ack,
 			})
+			ack.Release()
 		}
 		if l.dedup.fresh(f.From, seq) && l.handler != nil {
 			l.handler(f.From, payload)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 )
 
@@ -41,7 +42,9 @@ const (
 // headerLen is the MAC header size: kind (1) + seq (2).
 const headerLen = 3
 
-// Handler receives decoded upper-layer payloads.
+// Handler receives decoded upper-layer payloads. payload is a view into
+// the delivered packet buffer, valid only for the duration of the call:
+// a handler that retains it past return must copy (netbuf.CloneBytes).
 type Handler func(from radio.NodeID, payload []byte)
 
 // DoneFunc reports the outcome of a Send: delivered is true when the
@@ -54,7 +57,15 @@ type DoneFunc func(delivered bool)
 type MAC interface {
 	Start()
 	Stop()
+	// Send copies payload into a pooled buffer at call time, so the
+	// caller's slice (e.g. a just-received view being forwarded) is free
+	// for reuse the moment Send returns.
 	Send(to radio.NodeID, payload []byte, done DoneFunc)
+	// SendBuf is the zero-copy variant: it takes ownership of b (the
+	// caller must Retain first to keep using it). The MAC prepends its
+	// header into b's headroom, holds the buffer across ARQ retries, and
+	// releases it when done fires (or on Stop).
+	SendBuf(to radio.NodeID, b *netbuf.Buffer, done DoneFunc)
 	OnReceive(h Handler)
 	Name() string
 	// QueueLen returns the number of payloads waiting (including the
@@ -63,15 +74,27 @@ type MAC interface {
 	// Retune moves the node to another radio channel (spectrum
 	// coordination, §IV-C).
 	Retune(ch uint8)
+	// Buffers returns the packet-buffer pool SendBuf buffers must come
+	// from (the medium's pool).
+	Buffers() *netbuf.Pool
 }
 
-// encode builds the on-air payload for a MAC frame.
-func encode(kind Kind, seq uint16, payload []byte) []byte {
-	buf := make([]byte, headerLen+len(payload))
-	buf[0] = byte(kind)
-	binary.BigEndian.PutUint16(buf[1:3], seq)
-	copy(buf[headerLen:], payload)
-	return buf
+// frame prepends the MAC header into b's headroom. Called exactly once
+// per queued item, when it reaches the head of the queue and its
+// sequence number is assigned; retransmissions reuse the framed buffer.
+func frame(b *netbuf.Buffer, kind Kind, seq uint16) {
+	h := b.Prepend(headerLen)
+	h[0] = byte(kind)
+	binary.BigEndian.PutUint16(h[1:3], seq)
+}
+
+// control builds a header-only frame (ACK, beacon) from the pool. The
+// caller releases it right after radio.Medium.Send, which holds its own
+// reference for the flight.
+func control(p *netbuf.Pool, kind Kind, seq uint16) *netbuf.Buffer {
+	b := p.Get()
+	frame(b, kind, seq)
+	return b
 }
 
 // decode splits an on-air payload into its MAC header and upper payload.
@@ -82,11 +105,65 @@ func decode(raw []byte) (kind Kind, seq uint16, payload []byte, err error) {
 	return Kind(raw[0]), binary.BigEndian.Uint16(raw[1:3]), raw[headerLen:], nil
 }
 
-// outItem is one queued send.
+// outItem is one queued send. buf is owned by the queue: exactly one
+// Release when the item leaves (delivered, failed, or Stop).
 type outItem struct {
-	to      radio.NodeID
-	payload []byte
-	done    DoneFunc
+	to   radio.NodeID
+	buf  *netbuf.Buffer
+	done DoneFunc
+}
+
+// sendq is a FIFO of outItems over a reusable backing array: pop
+// advances a head index instead of re-slicing, so the steady-state
+// send/complete cycle never reallocates (re-slicing with append used to
+// allocate a fresh 1-element array per send).
+type sendq struct {
+	items []outItem
+	head  int
+}
+
+func (q *sendq) push(it outItem) {
+	if q.head > 0 && q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, it)
+}
+
+// front returns the in-flight item. Only valid while len() > 0, and the
+// pointer must not be held across a push (the array may move).
+func (q *sendq) front() *outItem { return &q.items[q.head] }
+
+func (q *sendq) pop() outItem {
+	it := q.items[q.head]
+	q.items[q.head] = outItem{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return it
+}
+
+func (q *sendq) len() int { return len(q.items) - q.head }
+
+// drain empties the queue in FIFO order, releasing each item's buffer
+// and failing its callback — the Stop path.
+func (q *sendq) drain() {
+	for q.len() > 0 {
+		it := q.pop()
+		it.buf.Release()
+		if it.done != nil {
+			it.done(false)
+		}
+	}
+}
+
+// copyIn moves payload into a pooled buffer — the Send convenience path.
+func copyIn(p *netbuf.Pool, payload []byte) *netbuf.Buffer {
+	b := p.Get()
+	b.Append(payload)
+	return b
 }
 
 // dedup suppresses consecutive duplicate data frames per neighbor, which

@@ -7,14 +7,16 @@ import (
 	"time"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 )
 
-func TestEncodeDecodeRoundTrip(t *testing.T) {
+func TestFrameDecodeRoundTrip(t *testing.T) {
 	f := func(kind byte, seq uint16, payload []byte) bool {
-		raw := encode(Kind(kind), seq, payload)
-		k, s, p, err := decode(raw)
+		b := netbuf.FromBytes(payload)
+		frame(b, Kind(kind), seq)
+		k, s, p, err := decode(b.Bytes())
 		return err == nil && k == Kind(kind) && s == seq && bytes.Equal(p, payload)
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
@@ -50,7 +51,7 @@ type RIMAC struct {
 	cfg RIMACConfig
 
 	handler Handler
-	queue   []outItem
+	q       sendq
 	sending bool
 	seq     uint16
 	dedup   *dedup
@@ -87,7 +88,10 @@ func (r *RIMAC) Name() string { return "rimac" }
 func (r *RIMAC) OnReceive(h Handler) { r.handler = h }
 
 // QueueLen implements MAC.
-func (r *RIMAC) QueueLen() int { return len(r.queue) }
+func (r *RIMAC) QueueLen() int { return r.q.len() }
+
+// Buffers implements MAC.
+func (r *RIMAC) Buffers() *netbuf.Pool { return r.m.Buffers() }
 
 // Retune implements MAC.
 func (r *RIMAC) Retune(ch uint8) {
@@ -122,12 +126,7 @@ func (r *RIMAC) Stop() {
 	r.sleepEv.Cancel()
 	r.waitExpire.Cancel()
 	r.setAwake(false)
-	for _, it := range r.queue {
-		if it.done != nil {
-			it.done(false)
-		}
-	}
-	r.queue = nil
+	r.q.drain()
 	r.sending = false
 	r.waiting = false
 }
@@ -151,11 +150,12 @@ func (r *RIMAC) beacon() {
 		return // a waiting sender is already listening continuously
 	}
 	r.setAwake(true)
-	raw := encode(KindBeacon, 0, nil)
+	bcn := control(r.m.Buffers(), KindBeacon, 0)
 	r.m.Send(radio.Frame{
 		From: r.id, To: radio.Broadcast, Channel: r.cfg.Channel,
-		Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
+		Tenant: r.cfg.Tenant, Size: bcn.Len(), Payload: bcn,
 	})
+	bcn.Release()
 	r.m.Registry().CounterWith("mac.beacons", metrics.L("mac", "rimac")).Inc()
 	r.m.Recorder().Emit(int32(r.id), trace.MACBeacon, 0, 0, 0)
 	r.scheduleSleep(r.cfg.Dwell)
@@ -183,14 +183,30 @@ func (r *RIMAC) Send(to radio.NodeID, payload []byte, done DoneFunc) {
 		}
 		return
 	}
-	r.queue = append(r.queue, outItem{to: to, payload: payload, done: done})
+	r.enqueue(to, copyIn(r.m.Buffers(), payload), done)
+}
+
+// SendBuf implements MAC.
+func (r *RIMAC) SendBuf(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	if !r.started {
+		b.Release()
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	r.enqueue(to, b, done)
+}
+
+func (r *RIMAC) enqueue(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	r.q.push(outItem{to: to, buf: b, done: done})
 	if !r.sending {
 		r.startNext()
 	}
 }
 
 func (r *RIMAC) startNext() {
-	if len(r.queue) == 0 || r.stopped {
+	if r.q.len() == 0 || r.stopped {
 		r.sending = false
 		return
 	}
@@ -198,7 +214,10 @@ func (r *RIMAC) startNext() {
 	r.attempt = 0
 	r.seq++
 	r.gotAck = false
-	it := r.queue[0]
+	it := r.q.front()
+	// Frame once into headroom; every beacon-triggered copy (and every
+	// retry window) reuses the buffer.
+	frame(it.buf, KindData, r.seq)
 	// Rendezvous: stay awake until the target's next beacon (or, for
 	// broadcast, for one full beacon interval answering every beacon).
 	r.waiting = true
@@ -215,7 +234,7 @@ func (r *RIMAC) waitExpired() {
 	if r.stopped || !r.waiting {
 		return
 	}
-	it := r.queue[0]
+	it := r.q.front()
 	if it.to == radio.Broadcast {
 		// Broadcast window over: counted as delivered to whoever woke.
 		r.finish(true)
@@ -237,12 +256,12 @@ func (r *RIMAC) finish(ok bool) {
 	r.waiting = false
 	r.waitExpire.Cancel()
 	r.scheduleSleep(r.cfg.Dwell)
-	if len(r.queue) == 0 {
+	if r.q.len() == 0 {
 		r.sending = false
 		return
 	}
-	it := r.queue[0]
-	r.queue = r.queue[1:]
+	it := r.q.pop()
+	it.buf.Release()
 	if it.done != nil {
 		it.done(ok)
 	}
@@ -251,10 +270,10 @@ func (r *RIMAC) finish(ok bool) {
 
 // RadioReceive implements radio.Receiver.
 func (r *RIMAC) RadioReceive(f radio.Frame) {
-	if !r.started {
+	if !r.started || f.Payload == nil {
 		return
 	}
-	kind, seq, payload, err := decode(f.Payload)
+	kind, seq, payload, err := decode(f.Payload.Bytes())
 	if err != nil {
 		return
 	}
@@ -263,13 +282,14 @@ func (r *RIMAC) RadioReceive(f radio.Frame) {
 		if !r.waiting {
 			return
 		}
-		it := r.queue[0]
+		it := r.q.front()
 		if it.to == radio.Broadcast {
 			if r.k.Now() < r.bcastUntil {
-				raw := encode(KindData, r.seq, it.payload)
+				// The queued buffer was framed in startNext; every beacon
+				// answered within the window reuses it.
 				r.m.Send(radio.Frame{
 					From: r.id, To: radio.Broadcast, Channel: r.cfg.Channel,
-					Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
+					Tenant: r.cfg.Tenant, Size: it.buf.Len(), Payload: it.buf,
 				})
 			}
 			return
@@ -283,8 +303,11 @@ func (r *RIMAC) RadioReceive(f radio.Frame) {
 		// collision-avoidance window). Losing the race just means
 		// waiting for the next beacon.
 		seq := r.seq
+		to, buf := it.to, it.buf
 		backoff := time.Duration(r.k.Rand().Int63n(int64(r.cfg.Dwell * 4 / 5)))
 		r.k.Schedule(backoff, func() {
+			// The r.seq and r.waiting guards ensure buf is still the
+			// queued (framed, unreleased) head item when we transmit.
 			if r.stopped || !r.waiting || r.seq != seq || r.gotAck {
 				return
 			}
@@ -292,10 +315,9 @@ func (r *RIMAC) RadioReceive(f radio.Frame) {
 				return // another sender won this rendezvous
 			}
 			r.awaitAckSeq = seq
-			raw := encode(KindData, seq, it.payload)
 			r.m.Send(radio.Frame{
-				From: r.id, To: it.to, Channel: r.cfg.Channel,
-				Tenant: r.cfg.Tenant, Size: len(raw), Payload: raw,
+				From: r.id, To: to, Channel: r.cfg.Channel,
+				Tenant: r.cfg.Tenant, Size: buf.Len(), Payload: buf,
 			})
 		})
 	case KindData:
@@ -303,11 +325,12 @@ func (r *RIMAC) RadioReceive(f radio.Frame) {
 			return
 		}
 		if f.To == r.id {
-			ack := encode(KindAck, seq, nil)
+			ack := control(r.m.Buffers(), KindAck, seq)
 			r.m.Send(radio.Frame{
 				From: r.id, To: f.From, Channel: r.cfg.Channel,
-				Tenant: r.cfg.Tenant, Size: len(ack), Payload: ack,
+				Tenant: r.cfg.Tenant, Size: ack.Len(), Payload: ack,
 			})
+			ack.Release()
 		}
 		if r.dedup.fresh(f.From, seq) && r.handler != nil {
 			r.handler(f.From, payload)

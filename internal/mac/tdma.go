@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
@@ -52,7 +53,7 @@ type TDMA struct {
 	cfg TDMAConfig
 
 	handler Handler
-	queue   []outItem
+	q       sendq
 	seq     uint16
 	attempt int
 	dedup   *dedup
@@ -65,6 +66,8 @@ type TDMA struct {
 	awaitAckTo  radio.NodeID
 	gotAck      bool
 	seqAssigned bool
+
+	endTxFn func() // prebuilt endTxSlot closure
 }
 
 var _ MAC = (*TDMA)(nil)
@@ -80,7 +83,9 @@ func NewTDMA(m *radio.Medium, id radio.NodeID, cfg TDMAConfig) *TDMA {
 			panic(fmt.Sprintf("mac: RxSlot %d outside epoch of %d slots", s, cfg.SlotsPerEpoch))
 		}
 	}
-	return &TDMA{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+	t := &TDMA{m: m, k: m.Kernel(), id: id, cfg: cfg, dedup: newDedup()}
+	t.endTxFn = t.endTxSlot
+	return t
 }
 
 // Name implements MAC.
@@ -90,7 +95,10 @@ func (t *TDMA) Name() string { return "tdma" }
 func (t *TDMA) OnReceive(h Handler) { t.handler = h }
 
 // QueueLen implements MAC.
-func (t *TDMA) QueueLen() int { return len(t.queue) }
+func (t *TDMA) QueueLen() int { return t.q.len() }
+
+// Buffers implements MAC.
+func (t *TDMA) Buffers() *netbuf.Pool { return t.m.Buffers() }
 
 // Retune implements MAC.
 func (t *TDMA) Retune(ch uint8) {
@@ -132,12 +140,8 @@ func (t *TDMA) Stop() {
 	}
 	t.pending = nil
 	t.m.SetListening(t.id, false)
-	for _, it := range t.queue {
-		if it.done != nil {
-			it.done(false)
-		}
-	}
-	t.queue = nil
+	t.q.drain()
+	t.seqAssigned = false
 }
 
 // Send implements MAC.
@@ -148,7 +152,19 @@ func (t *TDMA) Send(to radio.NodeID, payload []byte, done DoneFunc) {
 		}
 		return
 	}
-	t.queue = append(t.queue, outItem{to: to, payload: payload, done: done})
+	t.q.push(outItem{to: to, buf: copyIn(t.m.Buffers(), payload), done: done})
+}
+
+// SendBuf implements MAC.
+func (t *TDMA) SendBuf(to radio.NodeID, b *netbuf.Buffer, done DoneFunc) {
+	if !t.started || t.cfg.TxSlot < 0 {
+		b.Release()
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	t.q.push(outItem{to: to, buf: b, done: done})
 }
 
 func (t *TDMA) scheduleEpoch() {
@@ -194,34 +210,36 @@ func (t *TDMA) rxSlot() {
 }
 
 func (t *TDMA) txSlot() {
-	if t.stopped || len(t.queue) == 0 {
+	if t.stopped || t.q.len() == 0 {
 		return
 	}
-	it := t.queue[0]
+	it := t.q.front()
 	if !t.seqAssigned {
 		t.seq++
 		t.seqAssigned = true
 		t.attempt = 0
+		// Frame once into headroom; epoch retries reuse the buffer.
+		frame(it.buf, KindData, t.seq)
 	}
 	t.gotAck = false
 	t.awaitAckSeq = t.seq
 	t.awaitAckTo = it.to
-	raw := encode(KindData, t.seq, it.payload)
 	t.m.Recorder().Emit(int32(t.id), trace.MACTx, int64(it.to), int64(t.attempt), 0)
 	// Listen after transmitting to catch the in-slot ACK.
 	t.m.SetListening(t.id, true)
 	air := t.m.Send(radio.Frame{
 		From: t.id, To: it.to, Channel: t.cfg.Channel, Tenant: t.cfg.Tenant,
-		Size: len(raw), Payload: raw,
+		Size: it.buf.Len(), Payload: it.buf,
 	})
 	t.m.Energy().Ledger(int(t.id)).Spend(metrics.StateListen, t.cfg.SlotDuration-t.guard()-air)
-	t.k.Schedule(t.cfg.SlotDuration-t.guard()-time.Nanosecond, func() { t.endTxSlot(it) })
+	t.pending = append(t.pending, t.k.Schedule(t.cfg.SlotDuration-t.guard()-time.Nanosecond, t.endTxFn))
 }
 
-func (t *TDMA) endTxSlot(it outItem) {
-	if t.stopped {
+func (t *TDMA) endTxSlot() {
+	if t.stopped || t.q.len() == 0 {
 		return
 	}
+	it := t.q.front()
 	t.m.SetListening(t.id, false)
 	ok := t.gotAck || it.to == radio.Broadcast
 	if !ok {
@@ -234,19 +252,20 @@ func (t *TDMA) endTxSlot(it outItem) {
 		t.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "tdma")).Inc()
 		t.m.Recorder().Emit(int32(t.id), trace.MACTxFail, int64(it.to), int64(t.attempt), 0)
 	}
-	t.queue = t.queue[1:]
+	fin := t.q.pop()
+	fin.buf.Release()
 	t.seqAssigned = false
-	if it.done != nil {
-		it.done(ok)
+	if fin.done != nil {
+		fin.done(ok)
 	}
 }
 
 // RadioReceive implements radio.Receiver.
 func (t *TDMA) RadioReceive(f radio.Frame) {
-	if !t.started {
+	if !t.started || f.Payload == nil {
 		return
 	}
-	kind, seq, payload, err := decode(f.Payload)
+	kind, seq, payload, err := decode(f.Payload.Bytes())
 	if err != nil {
 		return
 	}
@@ -256,11 +275,12 @@ func (t *TDMA) RadioReceive(f radio.Frame) {
 			return
 		}
 		if f.To == t.id {
-			ack := encode(KindAck, seq, nil)
+			ack := control(t.m.Buffers(), KindAck, seq)
 			t.m.Send(radio.Frame{
 				From: t.id, To: f.From, Channel: t.cfg.Channel,
-				Tenant: t.cfg.Tenant, Size: len(ack), Payload: ack,
+				Tenant: t.cfg.Tenant, Size: ack.Len(), Payload: ack,
 			})
+			ack.Release()
 		}
 		if t.dedup.fresh(f.From, seq) && t.handler != nil {
 			t.handler(f.From, payload)

@@ -1,0 +1,119 @@
+package netbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBufferOps drives random Prepend/TrimFront/Append/Extend/
+// Truncate/Clone/Retain/Release sequences over a small set of live
+// buffers from one pool, mirroring each buffer against a plain []byte
+// model. The invariants under test are exactly the ISSUE contract:
+// legal sequences never panic, and no live buffer ever aliases another
+// — in particular not across pool reuse, where the backing array of a
+// released buffer is handed to the next Get.
+func FuzzBufferOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 2, 2, 2, 6, 0, 3, 3, 8, 8})
+	f.Add([]byte{0, 0, 0, 2, 7, 8, 2, 6, 8, 7, 8, 8})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := NewPool()
+		p.SetPoison(true)
+		type slot struct {
+			b     *Buffer
+			model []byte
+			refs  int
+		}
+		var live []*slot
+		next := byte(1) // distinct fill pattern per op so aliasing shows
+		check := func() {
+			for i, s := range live {
+				if !bytes.Equal(s.b.Bytes(), s.model) {
+					t.Fatalf("slot %d diverged from model: buffer=%x model=%x", i, s.b.Bytes(), s.model)
+				}
+			}
+		}
+		for i := 0; i < len(ops); i++ {
+			op := ops[i] % 9
+			// Operand byte: which slot / how many bytes.
+			var arg byte
+			if i+1 < len(ops) {
+				i++
+				arg = ops[i]
+			}
+			if op == 0 { // get
+				if len(live) < 8 {
+					live = append(live, &slot{b: p.Get(), refs: 1})
+				}
+				check()
+				continue
+			}
+			if len(live) == 0 {
+				continue
+			}
+			s := live[int(arg)%len(live)]
+			switch op {
+			case 1: // append n bytes of a fresh pattern
+				n := int(arg)%40 + 1
+				fill := bytes.Repeat([]byte{next}, n)
+				next++
+				s.b.Append(fill)
+				s.model = append(s.model, fill...)
+			case 2: // prepend n bytes
+				n := int(arg)%20 + 1
+				fill := bytes.Repeat([]byte{next}, n)
+				next++
+				copy(s.b.Prepend(n), fill)
+				s.model = append(fill, s.model...)
+			case 3: // trim front
+				if len(s.model) > 0 {
+					n := int(arg)%len(s.model) + 1
+					s.b.TrimFront(n)
+					s.model = s.model[n:]
+				}
+			case 4: // extend
+				n := int(arg)%16 + 1
+				fill := bytes.Repeat([]byte{next}, n)
+				next++
+				copy(s.b.Extend(n), fill)
+				s.model = append(s.model, fill...)
+			case 5: // truncate
+				if len(s.model) > 0 {
+					n := int(arg) % len(s.model)
+					s.b.Truncate(n)
+					s.model = s.model[:n]
+				}
+			case 6: // clone into a new slot
+				if len(live) < 8 {
+					live = append(live, &slot{b: s.b.Clone(), model: CloneBytes(s.model), refs: 1})
+				}
+			case 7: // retain
+				if s.refs < 4 {
+					s.b.Retain()
+					s.refs++
+				}
+			case 8: // release one reference; drop the slot at zero
+				s.refs--
+				s.b.Release()
+				if s.refs == 0 {
+					for j, o := range live {
+						if o == s {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+			check()
+		}
+		// Releasing everything must drain the pool back to zero live.
+		for _, s := range live {
+			for ; s.refs > 0; s.refs-- {
+				s.b.Release()
+			}
+		}
+		if st := p.Stats(); st.Live != 0 {
+			t.Fatalf("pool leak after releasing all: %+v", st)
+		}
+	})
+}

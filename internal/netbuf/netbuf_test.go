@@ -1,0 +1,198 @@
+package netbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPrependTrimRoundTrip(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Append([]byte("payload"))
+	copy(b.Prepend(3), "mac")
+	b.Prepend(1)[0] = 'L'
+	if got := string(b.Bytes()); got != "Lmacpayload" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	b.TrimFront(1)
+	b.TrimFront(3)
+	if got := string(b.Bytes()); got != "payload" {
+		t.Fatalf("after trims = %q", got)
+	}
+	if b.Len() != 7 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Release()
+	if s := p.Stats(); s.Live != 0 || s.Free != 1 {
+		t.Fatalf("stats after release: %+v", s)
+	}
+}
+
+func TestExtendTruncate(t *testing.T) {
+	b := New()
+	b.Append([]byte("ct"))
+	copy(b.Extend(3), "tag")
+	if got := string(b.Bytes()); got != "cttag" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	b.Truncate(2)
+	if got := string(b.Bytes()); got != "ct" {
+		t.Fatalf("after Truncate = %q", got)
+	}
+}
+
+func TestGrowFrontPreservesContent(t *testing.T) {
+	b := New()
+	b.Append([]byte("data"))
+	// Exhaust the headroom, then keep prepending: content must survive.
+	for i := 0; i < 10; i++ {
+		copy(b.Prepend(8), "hhhhhhhh")
+	}
+	want := bytes.Repeat([]byte("hhhhhhhh"), 10)
+	want = append(want, []byte("data")...)
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("content corrupted by growFront: %q", b.Bytes())
+	}
+}
+
+func TestGrowBackPreservesContent(t *testing.T) {
+	b := New()
+	chunk := bytes.Repeat([]byte{0xAB}, 100)
+	for i := 0; i < 20; i++ {
+		b.Append(chunk)
+	}
+	if b.Len() != 2000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, c := range b.Bytes() {
+		if c != 0xAB {
+			t.Fatal("content corrupted by growBack")
+		}
+	}
+}
+
+func TestPoolReuseLIFOAndGeneration(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	g := b.Generation()
+	b.Append([]byte("x"))
+	b.Release()
+	b2 := p.Get()
+	if b2 != b {
+		t.Fatal("pool did not reuse LIFO")
+	}
+	if b2.Generation() != g+1 {
+		t.Fatalf("generation = %d, want %d", b2.Generation(), g+1)
+	}
+	if b2.Len() != 0 || b2.Headroom() != DefaultHeadroom {
+		t.Fatal("reused buffer not reset")
+	}
+	s := p.Stats()
+	if s.Gets != 2 || s.Puts != 1 || s.Allocs != 1 || s.Live != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPoisonScribblesReleasedBuffer(t *testing.T) {
+	p := NewPool()
+	p.SetPoison(true)
+	b := p.Get()
+	b.Append([]byte("secret"))
+	view := b.Bytes() // a handler illegally retaining the view
+	b.Release()
+	for _, c := range view {
+		if c != poisonByte {
+			t.Fatalf("released bytes not poisoned: %q", view)
+		}
+	}
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use after release")
+		}
+	}()
+	b.Append([]byte("boom"))
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := New()
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	b.Release()
+}
+
+func TestRetainKeepsBufferAlive(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Append([]byte("keep"))
+	b.Retain()
+	b.Release()
+	if got := string(b.Bytes()); got != "keep" {
+		t.Fatalf("retained buffer lost content: %q", got)
+	}
+	b.Release()
+	if p.Stats().Live != 0 {
+		t.Fatal("buffer not returned after final release")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Append([]byte("original"))
+	c := b.Clone()
+	c.Bytes()[0] = 'X'
+	if got := string(b.Bytes()); got != "original" {
+		t.Fatalf("clone aliased source: %q", got)
+	}
+	b.Release()
+	c.Release()
+}
+
+func TestCloneBytes(t *testing.T) {
+	if CloneBytes(nil) != nil {
+		t.Fatal("CloneBytes(nil) != nil")
+	}
+	src := []byte("abc")
+	dup := CloneBytes(src)
+	dup[0] = 'X'
+	if string(src) != "abc" {
+		t.Fatal("CloneBytes aliased its input")
+	}
+	if got := CloneBytes([]byte{}); len(got) != 0 {
+		t.Fatalf("CloneBytes(empty) = %v", got)
+	}
+}
+
+// TestSteadyStateZeroAllocs is the pool's own alloc gate: once warm, a
+// get/prepend/clone/release cycle must not touch the heap.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	p := NewPool()
+	payload := make([]byte, 64)
+	// Warm up: the clone below needs a second pooled buffer.
+	w := p.Get()
+	w2 := w.Clone()
+	w.Release()
+	w2.Release()
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := p.Get()
+		b.Append(payload)
+		copy(b.Prepend(3), "hdr")
+		c := b.Clone()
+		c.TrimFront(3)
+		c.Release()
+		b.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pool cycle allocates %v times/op, want 0", allocs)
+	}
+}

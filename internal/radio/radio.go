@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
 )
@@ -42,13 +43,21 @@ func (p Position) Distance(q Position) float64 {
 // Frame is one link-layer transmission unit. Payload is opaque to the
 // medium; Size is the on-air size in bytes (header overhead included), and
 // governs airtime and energy.
+//
+// Payload ownership: Send borrows the caller's buffer and retains its
+// own reference for the duration of the flight, so a MAC may keep (and
+// later retransmit) its reference without re-encoding. On delivery
+// every receiver gets an independent clone — copy-on-fanout — valid
+// only for the duration of its RadioReceive callback; a receiver that
+// mutates or retains the payload cannot corrupt what sibling receivers
+// of a broadcast or the sender's retransmit queue observe.
 type Frame struct {
 	From    NodeID
 	To      NodeID // Broadcast or a specific node
 	Channel uint8
 	Tenant  string // administrative domain, for §IV-C accounting
 	Size    int    // bytes on air
-	Payload []byte
+	Payload *netbuf.Buffer
 }
 
 // Receiver is implemented by the link/MAC layer of each node to accept
@@ -110,18 +119,19 @@ type nodeState struct {
 // delivery is one in-flight frame copy headed to one receiver.
 type delivery struct {
 	to        NodeID
-	frame     Frame
 	corrupted bool
 }
 
-// transmission is one in-flight frame with all its deliveries.
+// transmission is one in-flight frame with all its deliveries. The
+// structs are pooled per medium (with dels capacity and the completion
+// closure kept across reuse) so the steady-state send path does not
+// allocate.
 type transmission struct {
-	from    NodeID
-	channel uint8
-	tenant  string
-	start   sim.Time
-	end     sim.Time
-	dels    []*delivery
+	frame      Frame
+	start      sim.Time
+	end        sim.Time
+	dels       []delivery
+	completeFn func() // prebuilt m.complete(tx) closure
 }
 
 // Medium is the shared wireless channel set. It is single-threaded and
@@ -137,11 +147,23 @@ type Medium struct {
 	// run-to-run determinism (DESIGN.md §5).
 	ordered []*nodeState
 	active  []*transmission
+	txFree  []*transmission // recycled transmission structs
+	pool    *netbuf.Pool    // packet buffers for this medium's stack
 	filter  LinkFilter
 	energy  *metrics.EnergySet
 	reg     *metrics.Registry
 	rec     *trace.Recorder
 	prrOver map[[2]NodeID]float64
+
+	// Hot-path counters resolved once at construction: Registry.Counter
+	// is a mutex+map lookup, too slow for the per-frame path.
+	cTxFrames   *metrics.Counter
+	cTxBytes    *metrics.Counter
+	cRxFrames   *metrics.Counter
+	cCollisions *metrics.Counter
+	cCollXTen   *metrics.Counter
+	cDropLoss   *metrics.Counter
+	cDropGone   *metrics.Counter
 }
 
 // NewMedium creates a medium on kernel k. reg may be nil, in which case a
@@ -160,11 +182,25 @@ func NewMedium(k *sim.Kernel, p Params, reg *metrics.Registry) *Medium {
 		k:       k,
 		params:  p,
 		nodes:   make(map[NodeID]*nodeState),
+		pool:    netbuf.NewPool(),
 		energy:  metrics.NewEnergySet(metrics.DefaultPowerProfile()),
 		reg:     reg,
 		prrOver: make(map[[2]NodeID]float64),
+
+		cTxFrames:   reg.Counter("radio.tx_frames"),
+		cTxBytes:    reg.Counter("radio.tx_bytes"),
+		cRxFrames:   reg.Counter("radio.rx_frames"),
+		cCollisions: reg.Counter("radio.collisions"),
+		cCollXTen:   reg.Counter("radio.collisions_cross_tenant"),
+		cDropLoss:   reg.Counter("radio.dropped_loss"),
+		cDropGone:   reg.Counter("radio.dropped_gone"),
 	}
 }
+
+// Buffers returns the medium's packet-buffer pool. The whole stack of
+// one node shares this pool, so buffers flow between layers without
+// crossing pools (and, like the medium, it is single-threaded).
+func (m *Medium) Buffers() *netbuf.Pool { return m.pool }
 
 // Kernel returns the simulation kernel the medium runs on.
 func (m *Medium) Kernel() *sim.Kernel { return m.k }
@@ -299,14 +335,36 @@ func (m *Medium) CarrierSense(id NodeID) bool {
 	n := m.mustNode(id)
 	now := m.k.Now()
 	for _, tx := range m.active {
-		if tx.end <= now || tx.channel != n.channel {
+		if tx.end <= now || tx.frame.Channel != n.channel {
 			continue
 		}
-		if m.audible(tx.from, id) {
+		if m.audible(tx.frame.From, id) {
 			return true
 		}
 	}
 	return false
+}
+
+// getTx pops a recycled transmission or creates one with its
+// completion closure prebuilt (so Send schedules without allocating).
+func (m *Medium) getTx() *transmission {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree[n-1] = nil
+		m.txFree = m.txFree[:n-1]
+		return tx
+	}
+	tx := &transmission{}
+	tx.completeFn = func() { m.complete(tx) }
+	return tx
+}
+
+// putTx recycles a completed transmission, dropping its payload
+// reference but keeping the dels capacity and closure.
+func (m *Medium) putTx(tx *transmission) {
+	tx.frame = Frame{}
+	tx.dels = tx.dels[:0]
+	m.txFree = append(m.txFree, tx)
 }
 
 // audible reports whether from's signal carries to to at all (within
@@ -329,37 +387,47 @@ func (m *Medium) audible(from, to NodeID) bool {
 // Send transmits frame f from node f.From. Delivery callbacks fire at the
 // end of the frame's airtime. The return value is the airtime, which the
 // caller's MAC must respect before transmitting again.
+//
+// Send borrows f.Payload: it retains its own flight reference and
+// releases it after delivery fan-out, so the caller's reference (e.g. a
+// MAC's ARQ queue entry) stays valid for retransmission.
 func (m *Medium) Send(f Frame) time.Duration {
 	src := m.mustNode(f.From)
 	if src.down {
 		return 0
 	}
-	if f.Size < len(f.Payload) {
-		f.Size = len(f.Payload)
+	if f.Payload != nil {
+		if n := f.Payload.Len(); f.Size < n {
+			f.Size = n
+		}
+		f.Payload.Retain()
 	}
 	air := m.Airtime(f.Size)
 	now := m.k.Now()
-	m.reg.Counter("radio.tx_frames").Inc()
-	m.reg.Counter("radio.tx_bytes").Add(float64(f.Size))
+	m.cTxFrames.Inc()
+	m.cTxBytes.Add(float64(f.Size))
 	m.energy.Ledger(int(f.From)).Spend(metrics.StateTx, air)
 	m.rec.Emit(int32(f.From), trace.RadioTx, int64(f.To), int64(f.Size), 0)
 
-	tx := &transmission{from: f.From, channel: f.Channel, tenant: f.Tenant, start: now, end: now + air}
+	tx := m.getTx()
+	tx.frame = f
+	tx.start, tx.end = now, now+air
 
 	// Mark collisions: any receiver that can hear both this frame and an
 	// already-active co-channel frame decodes neither.
 	for _, other := range m.active {
-		if other.end <= now || other.channel != f.Channel {
+		if other.end <= now || other.frame.Channel != f.Channel {
 			continue
 		}
-		for _, d := range other.dels {
+		for i := range other.dels {
+			d := &other.dels[i]
 			if !d.corrupted && m.audible(f.From, d.to) {
 				d.corrupted = true
-				m.reg.Counter("radio.collisions").Inc()
-				if other.tenant != f.Tenant {
-					m.reg.Counter("radio.collisions_cross_tenant").Inc()
+				m.cCollisions.Inc()
+				if other.frame.Tenant != f.Tenant {
+					m.cCollXTen.Inc()
 				}
-				m.rec.Emit(int32(d.to), trace.RadioCollision, int64(other.from), int64(f.From), 0)
+				m.rec.Emit(int32(d.to), trace.RadioCollision, int64(other.frame.From), int64(f.From), 0)
 			}
 		}
 	}
@@ -374,55 +442,72 @@ func (m *Medium) Send(f Frame) time.Duration {
 		}
 		// The receiver's radio is busy for the whole frame either way.
 		m.energy.Ledger(int(id)).Spend(metrics.StateRx, air)
-		d := &delivery{to: id, frame: f}
+		tx.dels = append(tx.dels, delivery{to: id})
+		d := &tx.dels[len(tx.dels)-1]
 		// Collision with other concurrently active frames audible here.
 		for _, other := range m.active {
-			if other.end > now && other.channel == f.Channel && m.audible(other.from, id) {
+			if other.end > now && other.frame.Channel == f.Channel && m.audible(other.frame.From, id) {
 				d.corrupted = true
-				m.reg.Counter("radio.collisions").Inc()
-				if other.tenant != f.Tenant {
-					m.reg.Counter("radio.collisions_cross_tenant").Inc()
+				m.cCollisions.Inc()
+				if other.frame.Tenant != f.Tenant {
+					m.cCollXTen.Inc()
 				}
-				m.rec.Emit(int32(id), trace.RadioCollision, int64(other.from), int64(f.From), 0)
+				m.rec.Emit(int32(id), trace.RadioCollision, int64(other.frame.From), int64(f.From), 0)
 				break
 			}
 		}
 		// Stochastic loss from link quality.
 		if !d.corrupted && m.k.Rand().Float64() >= m.PRR(f.From, id) {
 			d.corrupted = true
-			m.reg.Counter("radio.dropped_loss").Inc()
+			m.cDropLoss.Inc()
 			m.rec.Emit(int32(id), trace.RadioLoss, int64(f.From), int64(f.Size), 0)
 		}
-		tx.dels = append(tx.dels, d)
 	}
 
 	m.active = append(m.active, tx)
-	m.k.Schedule(air, func() { m.complete(tx) })
+	m.k.Schedule(air, tx.completeFn)
 	return air
 }
 
 func (m *Medium) complete(tx *transmission) {
-	// Remove from active list.
+	// Remove from active first: receive handlers re-enter Send (ACKs),
+	// and a completed frame must not collide with them.
 	for i, a := range m.active {
 		if a == tx {
 			m.active = append(m.active[:i], m.active[i+1:]...)
 			break
 		}
 	}
-	for _, d := range tx.dels {
+	f := tx.frame
+	for i := range tx.dels {
+		d := &tx.dels[i]
 		n := m.nodes[d.to]
-		if n == nil || n.down || !n.listening || n.channel != tx.channel {
+		if n == nil || n.down || !n.listening || n.channel != f.Channel {
 			// Receiver went away mid-frame.
-			m.reg.Counter("radio.dropped_gone").Inc()
+			m.cDropGone.Inc()
 			continue
 		}
 		if d.corrupted {
 			continue
 		}
-		m.reg.Counter("radio.rx_frames").Inc()
-		m.rec.Emit(int32(d.to), trace.RadioDeliver, int64(tx.from), int64(d.frame.Size), 0)
-		n.recv.RadioReceive(d.frame)
+		m.cRxFrames.Inc()
+		m.rec.Emit(int32(d.to), trace.RadioDeliver, int64(f.From), int64(f.Size), 0)
+		if f.Payload != nil {
+			// Copy-on-fanout: each receiver gets its own view, alive only
+			// for the callback. Receivers that retain must copy.
+			view := f.Payload.Clone()
+			df := f
+			df.Payload = view
+			n.recv.RadioReceive(df)
+			view.Release()
+		} else {
+			n.recv.RadioReceive(f)
+		}
 	}
+	if f.Payload != nil {
+		f.Payload.Release() // flight reference taken in Send
+	}
+	m.putTx(tx)
 }
 
 // NeighborsOf returns the IDs of nodes within RangeMax of id, nearest

@@ -5,14 +5,23 @@ import (
 	"testing"
 	"time"
 
+	"iiotds/internal/netbuf"
 	"iiotds/internal/sim"
 )
 
 type collector struct {
-	frames []Frame
+	frames   []Frame
+	payloads [][]byte // copied per frame: delivered views die with the callback
 }
 
-func (c *collector) RadioReceive(f Frame) { c.frames = append(c.frames, f) }
+func (c *collector) RadioReceive(f Frame) {
+	c.frames = append(c.frames, f)
+	var p []byte
+	if f.Payload != nil {
+		p = netbuf.CloneBytes(f.Payload.Bytes())
+	}
+	c.payloads = append(c.payloads, p)
+}
 
 func newTestMedium(t *testing.T) (*sim.Kernel, *Medium) {
 	t.Helper()
@@ -31,14 +40,60 @@ func TestDeliveryInRange(t *testing.T) {
 	k, m := newTestMedium(t)
 	attach(m, 1, 0, 0)
 	c2 := attach(m, 2, 10, 0)
-	m.Send(Frame{From: 1, To: 2, Payload: []byte("hello"), Size: 20})
+	pl := netbuf.FromBytes([]byte("hello"))
+	m.Send(Frame{From: 1, To: 2, Payload: pl, Size: 20})
+	pl.Release() // the medium's flight reference keeps it alive
 	k.Run()
 	if len(c2.frames) != 1 {
 		t.Fatalf("got %d frames, want 1", len(c2.frames))
 	}
-	if string(c2.frames[0].Payload) != "hello" {
-		t.Fatalf("payload = %q", c2.frames[0].Payload)
+	if string(c2.payloads[0]) != "hello" {
+		t.Fatalf("payload = %q", c2.payloads[0])
 	}
+}
+
+// TestBroadcastFanoutIsolation is the regression test for the payload
+// aliasing bug: one Frame.Payload used to fan out to every receiver of
+// a broadcast as the same slice, so a receiver mutating its "own" bytes
+// corrupted its siblings — and the sender's retained retransmit buffer.
+func TestBroadcastFanoutIsolation(t *testing.T) {
+	k := sim.New(1)
+	m := NewMedium(k, DefaultParams(), nil)
+	attach(m, 1, 0, 0)
+	var got2, got3 []byte
+	vandal := func(f Frame) {
+		b := f.Payload.Bytes()
+		got2 = netbuf.CloneBytes(b)
+		for i := range b {
+			b[i] = 0xFF // scribble over the delivered view
+		}
+	}
+	m.Attach(2, Position{X: 5}, ReceiverFunc(vandal))
+	m.SetListening(2, true)
+	m.Attach(3, Position{X: 10}, ReceiverFunc(func(f Frame) {
+		got3 = netbuf.CloneBytes(f.Payload.Bytes())
+	}))
+	m.SetListening(3, true)
+
+	sent := m.Buffers().Get()
+	sent.Append([]byte("fragile"))
+	sent.Retain() // sender's retransmit-queue reference
+	m.Send(Frame{From: 1, To: Broadcast, Payload: sent, Size: 20})
+	sent.Release() // drop the send-call ref; the retained ref remains
+	k.Run()
+
+	// Node 2 (lower ID, dispatched first) scribbled its view; node 3 and
+	// the sender's retained buffer must be untouched.
+	if string(got2) != "fragile" {
+		t.Fatalf("node 2 saw %q", got2)
+	}
+	if string(got3) != "fragile" {
+		t.Fatalf("sibling receiver corrupted by node 2's mutation: %q", got3)
+	}
+	if string(sent.Bytes()) != "fragile" {
+		t.Fatalf("sender's retransmit buffer corrupted: %q", sent.Bytes())
+	}
+	sent.Release()
 }
 
 func TestNoDeliveryOutOfRange(t *testing.T) {

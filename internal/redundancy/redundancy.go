@@ -17,6 +17,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"iiotds/internal/netbuf"
 )
 
 // Link is one attempt-oriented lossy channel: Try transmits one payload
@@ -74,7 +76,7 @@ func RecoverParity(blocks [][]byte, parity []byte) error {
 	if missing < 0 {
 		return nil // nothing to do
 	}
-	rec := append([]byte(nil), parity...)
+	rec := netbuf.CloneBytes(parity)
 	for i, b := range blocks {
 		if i == missing {
 			continue

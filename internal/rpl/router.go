@@ -8,6 +8,7 @@ import (
 	"iiotds/internal/link"
 	"iiotds/internal/lowpan"
 	"iiotds/internal/metrics"
+	"iiotds/internal/netbuf"
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
@@ -137,6 +138,8 @@ type Router struct {
 	joinedAt sim.Time
 	joined   bool
 
+	fscratch []*netbuf.Buffer // reused frame slice for route()
+
 	rec *trace.Recorder
 }
 
@@ -166,6 +169,9 @@ func NewRouter(k *sim.Kernel, lnk *link.Link, isRoot bool, root radio.NodeID, cf
 	if isRoot && root != r.id {
 		panic(fmt.Sprintf("rpl: root router id %d != root %d", r.id, root))
 	}
+	// Datagrams fragment straight into the stack's pooled buffers and
+	// ride down to the radio without another copy.
+	r.adapt.UsePool(lnk.Buffers())
 	tcfg := cfg.Trickle
 	if isRoot {
 		// The root's DIOs are the network's liveness signal (RNFD
@@ -621,13 +627,14 @@ func (r *Router) route(d *lowpan.Datagram) error {
 		r.rec.Emit(int32(r.id), trace.RPLNoRoute, int64(d.Src), int64(d.Dst), 0)
 		return fmt.Errorf("%w: %d -> %d", ErrNoRoute, r.id, d.Dst)
 	}
-	frames, err := r.adapt.Encode(d)
+	frames, err := r.adapt.Encode(d, r.fscratch[:0])
+	r.fscratch = frames[:0]
 	if err != nil {
 		return fmt.Errorf("rpl: encode datagram: %w", err)
 	}
 	for _, f := range frames {
 		nh := next
-		r.lnk.Send(nh, link.ProtoNet, f, func(ok bool) {
+		r.lnk.SendBuf(nh, link.ProtoNet, f, func(ok bool) {
 			if nh == r.parent {
 				r.noteParentTx(nh, ok)
 			}

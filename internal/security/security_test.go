@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"testing/quick"
+
+	"iiotds/internal/netbuf"
 )
 
 func pair(t *testing.T) (*Channel, *Channel) {
@@ -222,5 +224,86 @@ func TestPropertySealOpenAnyPayload(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSealBufferMatchesSeal pins the in-place buffer path to the slice
+// path byte for byte: two channels with the same key and counter state
+// must produce identical on-air frames, and OpenBuffer must recover the
+// plaintext in place (header and tag trimmed).
+func TestSealBufferMatchesSeal(t *testing.T) {
+	txA, _ := pair(t)
+	txB, rx := pair(t)
+	pool := netbuf.NewPool()
+	pool.SetPoison(true)
+	for i := 0; i < 5; i++ {
+		pt := []byte("reading-21.5-round-" + string(rune('a'+i)))
+		aad := []byte{byte(i)}
+		want := txA.Seal(pt, aad)
+
+		b := pool.Get()
+		b.Append(pt)
+		txB.SealBuffer(b, aad)
+		if !bytes.Equal(b.Bytes(), want) {
+			t.Fatalf("round %d: SealBuffer %x != Seal %x", i, b.Bytes(), want)
+		}
+
+		if err := rx.OpenBuffer(b, aad); err != nil {
+			t.Fatalf("round %d: OpenBuffer: %v", i, err)
+		}
+		if !bytes.Equal(b.Bytes(), pt) {
+			t.Fatalf("round %d: OpenBuffer left %x, want %x", i, b.Bytes(), pt)
+		}
+		b.Release()
+	}
+}
+
+// TestOpenBufferRejections mirrors Open's error contract on the in-place
+// path: short frames, wrong key IDs, tampered bytes, and replays.
+func TestOpenBufferRejections(t *testing.T) {
+	tx, rx := pair(t)
+	pool := netbuf.NewPool()
+
+	short := pool.Get()
+	short.Append([]byte{1, 2, 3})
+	if err := rx.OpenBuffer(short, nil); err != ErrTooShort {
+		t.Fatalf("short frame: %v", err)
+	}
+	short.Release()
+
+	mk := func(pt []byte) *netbuf.Buffer {
+		b := pool.Get()
+		b.Append(pt)
+		tx.SealBuffer(b, nil)
+		return b
+	}
+
+	wrong := mk([]byte("x"))
+	wrong.Bytes()[0] ^= 0xFF // wrong key ID
+	if err := rx.OpenBuffer(wrong, nil); err == nil {
+		t.Fatal("wrong key ID accepted")
+	}
+	wrong.Release()
+
+	tampered := mk([]byte("y"))
+	tampered.Bytes()[tampered.Len()-1] ^= 1
+	if err := rx.OpenBuffer(tampered, nil); err != ErrAuth {
+		t.Fatalf("tampered frame: %v", err)
+	}
+	tampered.Release()
+
+	fresh := mk([]byte("z"))
+	replay := fresh.Clone()
+	if err := rx.OpenBuffer(fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Release()
+	if err := rx.OpenBuffer(replay, nil); err != ErrReplay {
+		t.Fatalf("replayed frame: %v", err)
+	}
+	replay.Release()
+
+	if rx.RejectedFrames != 4 {
+		t.Fatalf("RejectedFrames = %d, want 4", rx.RejectedFrames)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"iiotds/internal/clock"
 	"iiotds/internal/crdt"
 	"iiotds/internal/gossip"
+	"iiotds/internal/netbuf"
 )
 
 // Mode selects the replica's consistency/availability trade-off.
@@ -196,7 +197,7 @@ func (r *Replica) Put(key string, val []byte, done func(err error)) {
 	r.nextReq++
 	reqID := r.nextReq
 	ver := r.cp[key].Ver + 1
-	r.cp[key] = versioned{Val: append([]byte(nil), val...), Ver: ver}
+	r.cp[key] = versioned{Val: netbuf.CloneBytes(val), Ver: ver}
 	op := &pendingOp{needed: r.quorum() - 1, done: func(_ []byte, err error) {
 		r.finishOp(err == nil)
 		if done != nil {
@@ -229,7 +230,7 @@ func (r *Replica) Get(key string, done func(val []byte, err error)) {
 		r.ap.mu.Lock()
 		var val []byte
 		if reg, ok := r.ap.regs[key]; ok {
-			val = append([]byte(nil), reg.Value()...)
+			val = netbuf.CloneBytes(reg.Value())
 		}
 		r.ap.mu.Unlock()
 		r.mu.Lock()
@@ -345,13 +346,13 @@ func (r *Replica) LocalValue(key string) []byte {
 		r.ap.mu.Lock()
 		defer r.ap.mu.Unlock()
 		if reg, ok := r.ap.regs[key]; ok {
-			return append([]byte(nil), reg.Value()...)
+			return netbuf.CloneBytes(reg.Value())
 		}
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]byte(nil), r.cp[key].Val...)
+	return netbuf.CloneBytes(r.cp[key].Val)
 }
 
 // String describes the replica.

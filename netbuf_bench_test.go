@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"iiotds/internal/mac"
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// BenchmarkSendPathCSMA measures one acknowledged unicast hop: MAC
+// encode -> radio -> receive dispatch -> ACK -> sender completion.
+func BenchmarkSendPathCSMA(b *testing.B) {
+	k := sim.New(1)
+	m := radio.NewMedium(k, radio.DefaultParams(), nil)
+	macs := make([]*mac.CSMA, 2)
+	for i := 0; i < 2; i++ {
+		idx := i
+		m.Attach(radio.NodeID(i), radio.Position{X: float64(i) * 8}, radio.ReceiverFunc(func(f radio.Frame) {
+			macs[idx].RadioReceive(f)
+		}))
+		macs[i] = mac.NewCSMA(m, radio.NodeID(i), mac.CSMAConfig{})
+		macs[i].Start()
+	}
+	delivered := 0
+	macs[0].OnReceive(func(from radio.NodeID, p []byte) { delivered++ })
+	payload := make([]byte, 64)
+	var ok bool
+	done := func(d bool) { ok = d }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok = false
+		macs[1].Send(0, payload, done)
+		for !ok {
+			k.RunFor(5 * time.Millisecond)
+		}
+	}
+	if delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
