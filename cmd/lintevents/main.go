@@ -33,6 +33,7 @@ var protocolLayers = []string{
 	"internal/bus",
 	"internal/agg",
 	"internal/trace",
+	"internal/fault",
 	"internal/core",
 }
 

@@ -270,6 +270,42 @@ func TestConGivesUpAfterMaxRetransmit(t *testing.T) {
 	}
 }
 
+// TestResetFailsInFlightAndStaysUsable pins the reboot semantics of
+// Conn.Reset (used by Deployment.Crash): in-flight exchanges fail with
+// ErrClosed, no pending/awaiting entries survive, and — unlike Close —
+// the endpoint keeps working afterwards.
+func TestResetFailsInFlightAndStaysUsable(t *testing.T) {
+	w := newWorld()
+	newServerConn(w, "srv")
+	cli, _ := w.endpoint("cli", ConnConfig{AckTimeout: 10 * time.Second})
+	var errs []error
+	cli.Get("ghost-a", "x", func(m *Message, err error) { errs = append(errs, err) })
+	cli.Get("ghost-b", "x", func(m *Message, err error) { errs = append(errs, err) })
+	w.k.RunFor(time.Second)
+	if p, a := cli.Exchanges(); p != 2 || a != 2 {
+		t.Fatalf("pending=%d awaiting=%d before Reset, want 2/2", p, a)
+	}
+	cli.Reset()
+	if len(errs) != 2 || errs[0] != ErrClosed || errs[1] != ErrClosed {
+		t.Fatalf("errs = %v, want two ErrClosed", errs)
+	}
+	if p, a := cli.Exchanges(); p != 0 || a != 0 {
+		t.Fatalf("exchange state leaked across Reset: pending=%d awaiting=%d", p, a)
+	}
+	// Canceled retransmission timers must not fire later.
+	w.k.RunFor(5 * time.Minute)
+	if len(errs) != 2 {
+		t.Fatalf("stale timer fired after Reset: errs = %v", errs)
+	}
+	// The endpoint survives the reboot: a fresh request round-trips.
+	var resp *Message
+	cli.Get("srv", "sensors/temp", func(m *Message, err error) { resp = m })
+	w.k.RunFor(time.Minute)
+	if resp == nil || string(resp.Payload) != "21.5" {
+		t.Fatal("endpoint unusable after Reset")
+	}
+}
+
 func TestServerDedupRepliesFromCache(t *testing.T) {
 	w := newWorld()
 	srvConn, _ := w.endpoint("srv", ConnConfig{})

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -184,6 +185,52 @@ func (c *Conn) Close() error {
 		fn(nil, ErrClosed)
 	}
 	return c.tr.Close()
+}
+
+// Exchanges reports the endpoint's in-flight exchange state: pending is
+// the number of unacknowledged CONs still retransmitting, awaiting the
+// number of requests waiting for a response. Diagnostics and leak tests.
+func (c *Conn) Exchanges() (pending, awaiting int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending), len(c.awaiting)
+}
+
+// Reset models a device reboot: all volatile exchange state — pending
+// CON retransmissions, requests awaiting responses, and the duplicate-
+// detection cache — is dropped, and outstanding requests fail with
+// ErrClosed. Unlike Close the endpoint stays usable and the transport
+// stays open: the rebooted node comes back with fresh (well, Seed-reset
+// is not modeled — MIDs/tokens keep counting, which RFC 7252 permits)
+// exchange state. Failure callbacks fire in sorted key order so a
+// simulated crash produces a deterministic event sequence.
+func (c *Conn) Reset() {
+	c.mu.Lock()
+	for _, p := range c.pending {
+		if p.cancel != nil {
+			p.cancel()
+		}
+	}
+	keys := make([]string, 0, len(c.awaiting))
+	for k := range c.awaiting {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fns := make([]ResponseFunc, 0, len(keys))
+	for _, k := range keys {
+		r := c.awaiting[k]
+		if r.timer != nil {
+			r.timer()
+		}
+		fns = append(fns, r.fn)
+	}
+	c.pending = make(map[string]*outCON)
+	c.awaiting = make(map[string]*reqState)
+	c.dedup = make(map[string]dedupEntry)
+	c.mu.Unlock()
+	for _, fn := range fns {
+		fn(nil, ErrClosed)
+	}
 }
 
 func key(addr string, mid uint16) string { return fmt.Sprintf("%s|%d", addr, mid) }

@@ -175,6 +175,12 @@ func (d *Deployment) Crash(id radio.NodeID) {
 		n.RNFD.Stop()
 	}
 	n.MAC.Stop()
+	if n.CoAP != nil {
+		// A crash loses exchange state: pending CONs stop retransmitting
+		// and fail now instead of leaking in `pending` until a timeout
+		// that would fire mid-reboot.
+		n.CoAP.Reset()
+	}
 	d.M.SetDown(id, true)
 }
 
@@ -187,6 +193,20 @@ func (d *Deployment) Recover(id radio.NodeID) {
 	}
 	n.up = true
 	d.M.SetDown(id, false)
+	// The reboot clears the node's own volatile link/MAC state (fresh
+	// sequence numbers, empty neighbor table) before the radio comes
+	// back up...
+	n.Link.Reboot()
+	// ...and peers must drop what they held about the old incarnation:
+	// a retained dedup entry can match the rebooted node's restarted
+	// sequence numbering and silently discard its first unicast as an
+	// ARQ duplicate, and stale ETX estimates would steer routing on
+	// link quality the reboot invalidated.
+	for _, p := range d.Nodes {
+		if p.ID != id {
+			p.Link.ForgetNeighbor(id)
+		}
+	}
 	n.MAC.Start()
 	n.Router.Restart()
 	if n.profile.RNFD != nil && id != 0 {

@@ -1,0 +1,271 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"iiotds/internal/coap"
+	"iiotds/internal/core"
+	"iiotds/internal/fault"
+	"iiotds/internal/radio"
+	"iiotds/internal/rpl"
+)
+
+// e14Run is one churn-soak measurement: a fleet held under sustained,
+// seeded fault load (crash/recover churn, link flapping, burst loss,
+// partition storms) while a CoAP workload runs over it.
+type e14Run struct {
+	nodes      int
+	cycles     int // completed crash→recover cycles
+	mttf       time.Duration
+	mttr       time.Duration
+	avail      float64
+	recoveries int
+	rejoins    int
+	meanRejoin time.Duration
+	maxRejoin  time.Duration
+	coapOK     int
+	coapFail   int
+}
+
+// e14Params sizes one soak.
+type e14Params struct {
+	n    int
+	seed int64
+	soak time.Duration
+	cfg  fault.ChurnConfig
+	// reqEvery is the CoAP probe period; drain bounds the post-soak
+	// settling phase (recoveries owed, rejoins, CON timeouts).
+	reqEvery time.Duration
+	drain    time.Duration
+}
+
+// e14Healthy reports whether a node is attached to the DODAG through a
+// live parent (the e10 notion of repaired: right after churn, nodes can
+// still point at corpses).
+func e14Healthy(d *core.Deployment, id radio.NodeID) bool {
+	n := d.Nodes[int(id)]
+	if !n.Up() || n.Router.Partitioned() {
+		return false
+	}
+	p := n.Router.Parent()
+	return p != rpl.NoParent && d.Nodes[int(p)].Up()
+}
+
+// runE14 converges the fleet, soaks it under churn, drains, and reads
+// the reliability ledger. Determinism: the churn schedule comes from the
+// engine's own seeded generator, every poll iterates the churn-node
+// slice (never a map), and per-node ledger stats are folded in sorted
+// Components() order — so the row is byte-identical at any -parallel.
+func runE14(tr *Trial, p e14Params) e14Run {
+	d := core.NewDeployment(core.Config{
+		Seed:     p.seed,
+		Topology: radio.GridTopology(p.n, 15),
+		WithCoAP: true,
+	})
+	tr.Observe(d.K)
+	tr.ObserveTrace(d.Trace)
+	d.RunUntilConverged(3 * time.Minute)
+
+	ledger := fault.NewLedger(d.K.Now())
+	inj := fault.NewInjector(d.K, d.M, d, ledger)
+	inj.SetRecorder(d.Trace)
+	churn := fault.NewChurn(inj, p.seed*7919+13, p.cfg)
+
+	// Rejoin probe: every recovery opens a measurement window; a 1 s
+	// poller closes it when the node is healthily attached again. A
+	// re-crash while the window is open counts that recovery as a
+	// failed rejoin.
+	out := e14Run{nodes: p.n}
+	pendingSince := make(map[radio.NodeID]time.Duration)
+	var rejoinTotal time.Duration
+	churn.OnRecover = func(id radio.NodeID) { pendingSince[id] = d.K.Now() }
+	churn.OnCrash = func(id radio.NodeID) { delete(pendingSince, id) }
+	poll := d.K.Every(time.Second, 0, func() {
+		for _, id := range p.cfg.Nodes {
+			t0, open := pendingSince[id]
+			if !open || !e14Healthy(d, id) {
+				continue
+			}
+			delete(pendingSince, id)
+			took := d.K.Now() - t0
+			out.rejoins++
+			rejoinTotal += took
+			if took > out.maxRejoin {
+				out.maxRejoin = took
+			}
+		}
+	})
+
+	// CoAP workload: every churn node serves /status; the border router
+	// probes them round-robin with confirmable GETs. Requests addressed
+	// to a crashed node exercise the retransmit-then-ErrTimeout path.
+	for _, id := range p.cfg.Nodes {
+		d.Nodes[int(id)].Server.Resource("status").Get(
+			func(string, *coap.Message) *coap.Message { return coap.TextResponse("ok") })
+	}
+	outstanding := 0
+	next := 0
+	workload := d.K.Every(p.reqEvery, 0, func() {
+		id := p.cfg.Nodes[next%len(p.cfg.Nodes)]
+		next++
+		outstanding++
+		d.Root().CoAP.Get(strconv.Itoa(int(id)), "status", func(m *coap.Message, err error) {
+			outstanding--
+			if err == nil && m.Code.IsSuccess() {
+				out.coapOK++
+			} else {
+				out.coapFail++
+			}
+		})
+	})
+
+	churn.Start()
+	d.K.RunFor(p.soak)
+	churn.Stop()
+	workload.Stop()
+
+	// Drain: owed recoveries fire, rejoin windows close, and in-flight
+	// CONs to dead incarnations finish their backoff (up to
+	// ~31×AckTimeout×1.5 before ErrTimeout).
+	deadline := d.K.Now() + p.drain
+	for d.K.Now() < deadline {
+		if outstanding == 0 && len(pendingSince) == 0 {
+			settled := true
+			for _, id := range p.cfg.Nodes {
+				if !e14Healthy(d, id) {
+					settled = false
+					break
+				}
+			}
+			if settled {
+				break
+			}
+		}
+		d.K.RunFor(time.Second)
+	}
+	poll.Stop()
+
+	out.cycles = churn.Recoveries()
+	out.recoveries = churn.Recoveries()
+	if out.rejoins > 0 {
+		out.meanRejoin = rejoinTotal / time.Duration(out.rejoins)
+	}
+
+	// Fold per-node reliability stats in sorted component order; the
+	// fleet averages stay byte-stable (never SystemAvailability, whose
+	// map-order float sum is not).
+	now := d.K.Now()
+	comps := ledger.Components()
+	var mttf, mttr time.Duration
+	var avail float64
+	for _, name := range comps {
+		s := ledger.StatsOf(name, now)
+		mttf += s.MTTF
+		mttr += s.MTTR
+		avail += s.Availability
+	}
+	if len(comps) > 0 {
+		out.mttf = mttf / time.Duration(len(comps))
+		out.mttr = mttr / time.Duration(len(comps))
+		out.avail = avail / float64(len(comps))
+	}
+	return out
+}
+
+// e14Churn builds the churn profile for an n-node grid: crash/recover
+// churn over the odd-numbered half of the fleet (the root, node 0, is
+// never crashed), one flapping link, one Gilbert–Elliott bursty link,
+// and periodic partition storms that cleave off the far half.
+func e14Churn(n int, up, minUp, down, minDown, flap, part time.Duration, hold time.Duration) fault.ChurnConfig {
+	var churners []radio.NodeID
+	for i := 1; i < n; i += 2 {
+		churners = append(churners, radio.NodeID(i))
+	}
+	var far []radio.NodeID
+	for i := n / 2; i < n; i++ {
+		far = append(far, radio.NodeID(i))
+	}
+	return fault.ChurnConfig{
+		Nodes:  churners,
+		MeanUp: up, MinUp: minUp,
+		MeanDown: down, MinDown: minDown,
+
+		FlapLinks: [][2]radio.NodeID{{1, 2}},
+		MeanFlap:  flap,
+		FlapPRR:   0.2,
+
+		GELinks: []fault.GELink{{A: 5, B: 8, PGoodBad: 0.1, PBadGood: 0.3, BadPRR: 0.3}},
+		GEStep:  5 * time.Second,
+
+		MeanPartition: part,
+		PartitionHold: hold,
+		Groups:        [][]radio.NodeID{far},
+	}
+}
+
+// E14ChurnSoak tests §V-A: reliability, availability, and maintainability
+// are first-class requirements of the sensing-and-actuation layer — so
+// the stack must survive sustained churn, not just one staged failure.
+// The soak holds two fleet sizes under seeded crash/recover churn plus
+// link faults for the full period, then checks that every recovered node
+// rejoined the DODAG unattended and reports the ledger's availability
+// figures alongside end-to-end CoAP success.
+func E14ChurnSoak(s Scale) *Table {
+	sizes := []int{9, 16}
+	soak := 6 * time.Minute
+	mk := func(n int) fault.ChurnConfig {
+		return e14Churn(n, 25*time.Second, 25*time.Second, 5*time.Second, 5*time.Second,
+			60*time.Second, 150*time.Second, 10*time.Second)
+	}
+	reqEvery := 5 * time.Second
+	if s == Full {
+		sizes = []int{16, 36}
+		soak = 30 * time.Minute
+		mk = func(n int) fault.ChurnConfig {
+			return e14Churn(n, 90*time.Second, 60*time.Second, 20*time.Second, 10*time.Second,
+				120*time.Second, 400*time.Second, 15*time.Second)
+		}
+		reqEvery = 10 * time.Second
+	}
+
+	t := &Table{
+		ID:      "E14",
+		Title:   "Churn soak: availability and self-repair under sustained faults",
+		Claim:   "§V-A: reliability, availability, maintainability are first-class requirements; the layer must self-repair through continuous churn",
+		Columns: []string{"nodes", "cycles", "MTTF", "MTTR", "availability", "rejoined", "rejoin mean/max", "CoAP success"},
+	}
+
+	rows, rs := Sweep(sizes, func(tr *Trial, n int) e14Run {
+		return runE14(tr, e14Params{
+			n:        n,
+			seed:     1501 + int64(n),
+			soak:     soak,
+			cfg:      mk(n),
+			reqEvery: reqEvery,
+			drain:    4 * time.Minute,
+		})
+	})
+	t.Stats = rs
+	for _, r := range rows {
+		succ := 0.0
+		if r.coapOK+r.coapFail > 0 {
+			succ = float64(r.coapOK) / float64(r.coapOK+r.coapFail)
+		}
+		t.AddRow(di(r.nodes), di(r.cycles),
+			fmt.Sprintf("%.0f s", r.mttf.Seconds()),
+			fmt.Sprintf("%.1f s", r.mttr.Seconds()),
+			f3(r.avail),
+			fmt.Sprintf("%d/%d", r.rejoins, r.recoveries),
+			fmt.Sprintf("%.1f/%.0f s", r.meanRejoin.Seconds(), r.maxRejoin.Seconds()),
+			pct(succ))
+	}
+
+	last := rows[len(rows)-1]
+	t.Finding = fmt.Sprintf(
+		"across %d crash/recover cycles at %d nodes, %d/%d recovered nodes rejoined the DODAG unattended (mean %.1f s); fleet availability %.3f with end-to-end CoAP success %.1f%% under sustained churn",
+		last.cycles, last.nodes, last.rejoins, last.recoveries, last.meanRejoin.Seconds(),
+		last.avail, 100*float64(last.coapOK)/maxf(float64(last.coapOK+last.coapFail), 1))
+	return t
+}

@@ -116,6 +116,7 @@ func All() []Runner {
 		{"E10", E10SelfHealing},
 		{"E11", E11Security},
 		{"E13", E13MixedFleet},
+		{"E14", E14ChurnSoak},
 		{"F1", F1ThreeTier},
 	}
 }

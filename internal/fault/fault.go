@@ -7,10 +7,12 @@ package fault
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"iiotds/internal/radio"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 )
 
 // Target is what the injector crashes and recovers: the deployment layer
@@ -20,13 +22,24 @@ type Target interface {
 	Recover(id radio.NodeID)
 }
 
-// Injector schedules faults on a deployment.
+// Injector applies faults to a deployment, either immediately (Crash,
+// Partition, ...) or on a schedule (CrashAt, PartitionAt, ...).
+//
+// Thread contract: every mutating method — the immediate operations and
+// the callbacks the *At methods schedule — must run on the simulation
+// kernel's goroutine (directly between kernel runs, or inside a kernel
+// callback such as a Churn generator). That is what keeps injected fault
+// sequences deterministic. The read-only Partitioned accessor is the one
+// exception: it is guarded by a mutex so test goroutines may poll it
+// while the kernel runs elsewhere.
 type Injector struct {
 	k      *sim.Kernel
 	m      *radio.Medium
 	target Target
 	ledger *Ledger
+	rec    *trace.Recorder
 
+	mu          sync.Mutex // guards partitioned and groups (see above)
 	partitioned bool
 	groups      map[radio.NodeID]int
 }
@@ -37,74 +50,114 @@ func NewInjector(k *sim.Kernel, m *radio.Medium, target Target, ledger *Ledger) 
 	return &Injector{k: k, m: m, target: target, ledger: ledger}
 }
 
+// SetRecorder installs the flight recorder injected faults are traced
+// into (FaultCrash/FaultRecover/FaultPartition/FaultHeal/FaultLink).
+func (inj *Injector) SetRecorder(rec *trace.Recorder) { inj.rec = rec }
+
+// Crash takes node id down immediately: the target's stack is stopped,
+// the radio stops delivering to it, and the ledger records the failure.
+func (inj *Injector) Crash(id radio.NodeID) {
+	if inj.target != nil {
+		inj.target.Crash(id)
+	}
+	inj.m.SetDown(id, true)
+	if inj.ledger != nil {
+		inj.ledger.RecordFailure(fmt.Sprintf("node-%d", id), inj.k.Now())
+	}
+	inj.rec.Emit(int32(id), trace.FaultCrash, 0, 0, 0)
+}
+
+// Recover restarts a crashed node immediately.
+func (inj *Injector) Recover(id radio.NodeID) {
+	inj.m.SetDown(id, false)
+	if inj.target != nil {
+		inj.target.Recover(id)
+	}
+	if inj.ledger != nil {
+		inj.ledger.RecordRepair(fmt.Sprintf("node-%d", id), inj.k.Now())
+	}
+	inj.rec.Emit(int32(id), trace.FaultRecover, 0, 0, 0)
+}
+
 // CrashAt schedules a crash of node id at absolute time t.
 func (inj *Injector) CrashAt(t time.Duration, id radio.NodeID) {
-	inj.k.At(t, func() {
-		if inj.target != nil {
-			inj.target.Crash(id)
-		}
-		inj.m.SetDown(id, true)
-		if inj.ledger != nil {
-			inj.ledger.RecordFailure(fmt.Sprintf("node-%d", id), inj.k.Now())
-		}
-	})
+	inj.k.At(t, func() { inj.Crash(id) })
 }
 
 // RecoverAt schedules a recovery of node id at absolute time t.
 func (inj *Injector) RecoverAt(t time.Duration, id radio.NodeID) {
-	inj.k.At(t, func() {
-		inj.m.SetDown(id, false)
-		if inj.target != nil {
-			inj.target.Recover(id)
-		}
-		if inj.ledger != nil {
-			inj.ledger.RecordRepair(fmt.Sprintf("node-%d", id), inj.k.Now())
-		}
-	})
+	inj.k.At(t, func() { inj.Recover(id) })
 }
 
-// PartitionAt splits the radio medium into groups at time t: frames only
+// Partition splits the radio medium into groups immediately: frames only
 // pass between nodes of the same group. Nodes not listed form group 0.
-func (inj *Injector) PartitionAt(t time.Duration, groups ...[]radio.NodeID) {
-	inj.k.At(t, func() {
-		inj.groups = make(map[radio.NodeID]int)
-		for i, g := range groups {
-			for _, id := range g {
-				inj.groups[id] = i + 1
-			}
+func (inj *Injector) Partition(groups ...[]radio.NodeID) {
+	gm := make(map[radio.NodeID]int)
+	for i, g := range groups {
+		for _, id := range g {
+			gm[id] = i + 1
 		}
-		inj.partitioned = true
-		inj.m.SetLinkFilter(func(from, to radio.NodeID) bool {
-			return inj.groups[from] == inj.groups[to]
-		})
+	}
+	inj.mu.Lock()
+	inj.groups = gm
+	inj.partitioned = true
+	inj.mu.Unlock()
+	inj.m.SetLinkFilter(func(from, to radio.NodeID) bool {
+		return gm[from] == gm[to]
 	})
+	inj.rec.Emit(-1, trace.FaultPartition, int64(len(groups)), 0, 0)
+}
+
+// Heal removes the partition immediately.
+func (inj *Injector) Heal() {
+	inj.mu.Lock()
+	inj.partitioned = false
+	inj.mu.Unlock()
+	inj.m.SetLinkFilter(nil)
+	inj.rec.Emit(-1, trace.FaultHeal, 0, 0, 0)
+}
+
+// PartitionAt schedules a partition into groups at time t.
+func (inj *Injector) PartitionAt(t time.Duration, groups ...[]radio.NodeID) {
+	inj.k.At(t, func() { inj.Partition(groups...) })
 }
 
 // HealAt removes the partition at time t.
 func (inj *Injector) HealAt(t time.Duration) {
-	inj.k.At(t, func() {
-		inj.partitioned = false
-		inj.m.SetLinkFilter(nil)
-	})
+	inj.k.At(t, func() { inj.Heal() })
 }
 
-// Partitioned reports whether a partition is currently installed.
-func (inj *Injector) Partitioned() bool { return inj.partitioned }
+// Partitioned reports whether a partition is currently installed. Unlike
+// the mutating methods it is safe to call from any goroutine.
+func (inj *Injector) Partitioned() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.partitioned
+}
+
+// DegradeLink sets the link PRR between a and b immediately (both
+// directions).
+func (inj *Injector) DegradeLink(a, b radio.NodeID, prr float64) {
+	inj.m.SetLinkPRR(a, b, prr)
+	inj.m.SetLinkPRR(b, a, prr)
+	inj.rec.Emit(int32(a), trace.FaultLink, int64(b), 0, prr)
+}
+
+// RestoreLink removes PRR overrides for the pair immediately.
+func (inj *Injector) RestoreLink(a, b radio.NodeID) {
+	inj.m.SetLinkPRR(a, b, -1)
+	inj.m.SetLinkPRR(b, a, -1)
+	inj.rec.Emit(int32(a), trace.FaultLink, int64(b), 0, -1)
+}
 
 // DegradeLinkAt sets the directed link PRR at time t (both directions).
 func (inj *Injector) DegradeLinkAt(t time.Duration, a, b radio.NodeID, prr float64) {
-	inj.k.At(t, func() {
-		inj.m.SetLinkPRR(a, b, prr)
-		inj.m.SetLinkPRR(b, a, prr)
-	})
+	inj.k.At(t, func() { inj.DegradeLink(a, b, prr) })
 }
 
 // RestoreLinkAt removes PRR overrides for the pair at time t.
 func (inj *Injector) RestoreLinkAt(t time.Duration, a, b radio.NodeID) {
-	inj.k.At(t, func() {
-		inj.m.SetLinkPRR(a, b, -1)
-		inj.m.SetLinkPRR(b, a, -1)
-	})
+	inj.k.At(t, func() { inj.RestoreLink(a, b) })
 }
 
 // --- reliability accounting ---
@@ -173,6 +226,17 @@ type Stats struct {
 }
 
 // StatsOf returns the component's statistics as of now.
+//
+// Edge semantics (pinned by TestLedgerStatsEdgeSemantics):
+//
+//   - An unknown component is perfectly available (Availability 1, zero
+//     MTTF/MTTR): the ledger only learns of components through events.
+//   - A component that never failed reports MTTF = its total uptime — a
+//     censored observation (the true MTTF is at least that), which keeps
+//     fleet-wide MTTF averages finite.
+//   - A component that failed but was never repaired reports MTTR = its
+//     total downtime so far (again censored); a never-failed component
+//     reports MTTR = 0, not "unknown".
 func (l *Ledger) StatsOf(name string, now time.Duration) Stats {
 	c, ok := l.components[name]
 	if !ok {

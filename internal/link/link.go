@@ -63,6 +63,25 @@ func (l *Link) Neighbors() *Table { return l.neighbors }
 // SetRecorder installs the flight recorder ARQ outcomes are traced into.
 func (l *Link) SetRecorder(rec *trace.Recorder) { l.rec = rec }
 
+// Reboot models a device restart while the stack is stopped: the
+// neighbor table (ETX estimates) is discarded and the MAC reboots
+// (fresh sequence numbers, cleared dedup state). Protocol handlers stay
+// registered — the stack object survives, only its volatile state is
+// lost, as a real node's RAM would be.
+func (l *Link) Reboot() {
+	l.neighbors = NewTable()
+	l.mac.Reboot()
+}
+
+// ForgetNeighbor drops everything this node knows about a neighbor that
+// rebooted: its ETX estimate (stale link quality must not steer routing)
+// and the MAC's dedup entry (the neighbor's restarted sequence numbering
+// must not be mistaken for ARQ duplicates).
+func (l *Link) ForgetNeighbor(id radio.NodeID) {
+	l.neighbors.Forget(id)
+	l.mac.ForgetNeighbor(id)
+}
+
 // Handle registers the handler for proto. Registering twice panics: each
 // protocol has exactly one owner.
 func (l *Link) Handle(proto Protocol, h Handler) {

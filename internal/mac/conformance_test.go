@@ -261,6 +261,66 @@ func TestConformanceBufferContract(t *testing.T) {
 	})
 }
 
+// TestConformanceRebootSeqCollision pins the bug the recovery path must
+// avoid: a node that sends exactly one frame, reboots (fresh sequence
+// numbers), and sends again reuses its first sequence number. The peer's
+// retained dedup entry matches, so the frame is ACKed (the sender sees
+// success) but never delivered — a silent drop. This test documents the
+// mechanism; the next one proves ForgetNeighbor is the cure.
+func TestConformanceRebootSeqCollision(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk)
+		deliveries := 0
+		b.OnReceive(func(radio.NodeID, []byte) { deliveries++ })
+		ok := false
+		sendAfterSettle(k, c, a, []byte("pre-crash"), func(r bool) { ok = r })
+		if !ok || deliveries != 1 {
+			t.Fatalf("pre-crash unicast: ok=%v deliveries=%d", ok, deliveries)
+		}
+		a.Stop()
+		a.Reboot() // fresh seq numbering — first send reuses the pre-crash seq
+		a.Start()
+		ok = false
+		sendAfterSettle(k, c, a, []byte("post-reboot"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("post-reboot unicast not acknowledged")
+		}
+		if deliveries != 1 {
+			t.Fatalf("deliveries = %d: peer did not suppress the colliding seq — "+
+				"if dedup semantics changed, revisit ForgetNeighbor and Deployment.Recover", deliveries)
+		}
+	})
+}
+
+// TestConformanceRebootForgetNeighborDelivers is the regression test for
+// the recovery fix: when the peer forgets the rebooted neighbor (as
+// Deployment.Recover now does), the first post-reboot unicast is
+// delivered, not deduped.
+func TestConformanceRebootForgetNeighborDelivers(t *testing.T) {
+	forEachMAC(t, func(t *testing.T, c conformanceCase) {
+		k, _, a, b := buildPair(c.mk)
+		var got []string
+		b.OnReceive(func(_ radio.NodeID, p []byte) { got = append(got, string(p)) })
+		ok := false
+		sendAfterSettle(k, c, a, []byte("pre-crash"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("pre-crash unicast not acknowledged")
+		}
+		a.Stop()
+		a.Reboot()
+		b.ForgetNeighbor(1)
+		a.Start()
+		ok = false
+		sendAfterSettle(k, c, a, []byte("post-reboot"), func(r bool) { ok = r })
+		if !ok {
+			t.Fatal("post-reboot unicast not acknowledged")
+		}
+		if len(got) != 2 || got[1] != "post-reboot" {
+			t.Fatalf("deliveries = %v, want the post-reboot frame delivered", got)
+		}
+	})
+}
+
 func TestConformanceRetune(t *testing.T) {
 	forEachMAC(t, func(t *testing.T, c conformanceCase) {
 		k, _, a, b := buildPair(c.mk)

@@ -97,6 +97,15 @@ func (c *CSMA) Retune(ch uint8) {
 	}
 }
 
+// Reboot implements MAC.
+func (c *CSMA) Reboot() {
+	c.seq = 0
+	c.dedup.reset()
+}
+
+// ForgetNeighbor implements MAC.
+func (c *CSMA) ForgetNeighbor(id radio.NodeID) { c.dedup.forget(id) }
+
 // Start turns the radio on permanently.
 func (c *CSMA) Start() {
 	if c.started {

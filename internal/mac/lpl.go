@@ -108,6 +108,15 @@ func (l *LPL) Retune(ch uint8) {
 	}
 }
 
+// Reboot implements MAC.
+func (l *LPL) Reboot() {
+	l.seq = 0
+	l.dedup.reset()
+}
+
+// ForgetNeighbor implements MAC.
+func (l *LPL) ForgetNeighbor(id radio.NodeID) { l.dedup.forget(id) }
+
 // Start begins the periodic channel checks.
 func (l *LPL) Start() {
 	if l.started {

@@ -77,6 +77,18 @@ type MAC interface {
 	// Buffers returns the packet-buffer pool SendBuf buffers must come
 	// from (the medium's pool).
 	Buffers() *netbuf.Pool
+	// Reboot models a device restart while the MAC is stopped: the
+	// sequence counter and the per-neighbor dedup state are cleared, as
+	// a real node's RAM would be. Without this a rebooted node resumes
+	// its old sequence numbering and stale receive state.
+	Reboot()
+	// ForgetNeighbor drops all receive-side state held about a neighbor
+	// (its dedup entry). Peers call this when they learn the neighbor
+	// rebooted, so the neighbor's restarted sequence numbering cannot
+	// collide with the last sequence seen before the crash — the
+	// collision would silently drop the first post-reboot frame as an
+	// ARQ duplicate.
+	ForgetNeighbor(id radio.NodeID)
 }
 
 // frame prepends the MAC header into b's headroom. Called exactly once
@@ -186,6 +198,18 @@ func (d *dedup) fresh(from radio.NodeID, seq uint16) bool {
 	d.seen[from] = true
 	d.last[from] = seq
 	return true
+}
+
+// forget drops the entry for one neighbor (see MAC.ForgetNeighbor).
+func (d *dedup) forget(from radio.NodeID) {
+	delete(d.last, from)
+	delete(d.seen, from)
+}
+
+// reset drops all entries (a device reboot).
+func (d *dedup) reset() {
+	d.last = make(map[radio.NodeID]uint16)
+	d.seen = make(map[radio.NodeID]bool)
 }
 
 // Config carries the knobs common to all MACs.

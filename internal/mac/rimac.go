@@ -101,6 +101,15 @@ func (r *RIMAC) Retune(ch uint8) {
 	}
 }
 
+// Reboot implements MAC.
+func (r *RIMAC) Reboot() {
+	r.seq = 0
+	r.dedup.reset()
+}
+
+// ForgetNeighbor implements MAC.
+func (r *RIMAC) ForgetNeighbor(id radio.NodeID) { r.dedup.forget(id) }
+
 // Start begins the beacon schedule.
 func (r *RIMAC) Start() {
 	if r.started {

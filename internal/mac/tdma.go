@@ -108,6 +108,16 @@ func (t *TDMA) Retune(ch uint8) {
 	}
 }
 
+// Reboot implements MAC.
+func (t *TDMA) Reboot() {
+	t.seq = 0
+	t.seqAssigned = false
+	t.dedup.reset()
+}
+
+// ForgetNeighbor implements MAC.
+func (t *TDMA) ForgetNeighbor(id radio.NodeID) { t.dedup.forget(id) }
+
 // Epoch returns the epoch length.
 func (t *TDMA) Epoch() time.Duration {
 	return time.Duration(t.cfg.SlotsPerEpoch) * t.cfg.SlotDuration

@@ -307,3 +307,90 @@ func TestOpenBufferRejections(t *testing.T) {
 		t.Fatalf("RejectedFrames = %d, want 4", rx.RejectedFrames)
 	}
 }
+
+// TestRebootWithOldKeyRejectedAsReplay pins the hazard that makes re-keying
+// after a crash mandatory: a rebooted node loses its send counter (a fresh
+// Channel starts at zero) while the peer's ReplayWindow survives, so every
+// frame the rebooted node seals under the old key reuses counters the peer
+// has already accepted and is rejected with ErrReplay.
+func TestRebootWithOldKeyRejectedAsReplay(t *testing.T) {
+	ks := NewKeyStore()
+	if err := ks.Set(1, bytes.Repeat([]byte{7}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := NewChannel(ks, 1)
+	rx, _ := NewChannel(ks, 1)
+
+	// Pre-crash traffic advances both the sender counter and the peer's
+	// replay window.
+	for i := 0; i < 5; i++ {
+		if _, err := rx.Open(tx.Seal([]byte("pre"), nil), nil); err != nil {
+			t.Fatalf("pre-crash frame %d: %v", i, err)
+		}
+	}
+
+	// Reboot: RAM state (the counter) is lost, the provisioned key is not.
+	rebooted, _ := NewChannel(ks, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := rx.Open(rebooted.Seal([]byte("post"), nil), nil); err != ErrReplay {
+			t.Fatalf("post-reboot frame %d with stale key: err = %v, want ErrReplay", i, err)
+		}
+	}
+}
+
+// TestRekeyAfterRebootAccepted is the E11 recovery path: after a reboot the
+// node runs a fresh handshake with new nonces, both sides derive a new
+// session key and build new Channels, and the peer accepts the rebooted
+// node's zeroed-counter traffic because its replay window is fresh too.
+func TestRekeyAfterRebootAccepted(t *testing.T) {
+	psk := bytes.Repeat([]byte{0x42}, 16)
+
+	// Session 1: normal operation before the crash.
+	a1, b1 := NewHandshake(psk), NewHandshake(psk)
+	m2, kb1 := b1.Respond(a1.Initiate([]byte("boot-1-a")), []byte("boot-1-b"))
+	ka1 := a1.Complete(m2)
+	ksA, ksB := NewKeyStore(), NewKeyStore()
+	if err := ksA.Set(1, ka1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ksB.Set(1, kb1); err != nil {
+		t.Fatal(err)
+	}
+	tx1, _ := NewChannel(ksA, 1)
+	rx1, _ := NewChannel(ksB, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := rx1.Open(tx1.Seal([]byte("pre"), nil), nil); err != nil {
+			t.Fatalf("session-1 frame %d: %v", i, err)
+		}
+	}
+
+	// Node A crashes and reboots. Session 2: fresh handshake with new
+	// nonces yields a different key, so the peer installs a new Channel
+	// with a fresh replay window.
+	a2, b2 := NewHandshake(psk), NewHandshake(psk)
+	m2b, kb2 := b2.Respond(a2.Initiate([]byte("boot-2-a")), []byte("boot-2-b"))
+	ka2 := a2.Complete(m2b)
+	if bytes.Equal(ka2, ka1) {
+		t.Fatal("re-key produced the same session key")
+	}
+	if err := ksA.Set(1, ka2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ksB.Set(1, kb2); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := NewChannel(ksA, 1)
+	rx2, _ := NewChannel(ksB, 1)
+	for i := 0; i < 5; i++ {
+		got, err := rx2.Open(tx2.Seal([]byte("post"), nil), nil)
+		if err != nil {
+			t.Fatalf("post-rekey frame %d rejected: %v", i, err)
+		}
+		if string(got) != "post" {
+			t.Fatalf("post-rekey frame %d payload = %q", i, got)
+		}
+	}
+	if rx2.RejectedFrames != 0 {
+		t.Fatalf("peer rejected %d re-keyed frames", rx2.RejectedFrames)
+	}
+}

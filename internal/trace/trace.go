@@ -45,12 +45,16 @@ const (
 	LayerRPL
 	LayerCoAP
 	LayerBus
+	// LayerFault carries injected-fault events (crash, recover,
+	// partition) — the churn engine's schedule, recorded alongside the
+	// protocol reactions it provokes.
+	LayerFault
 	numLayers
 	// LayerAny matches every layer in a Filter.
 	LayerAny Layer = 0xff
 )
 
-var layerNames = [numLayers]string{"radio", "mac", "link", "rpl", "coap", "bus"}
+var layerNames = [numLayers]string{"radio", "mac", "link", "rpl", "coap", "bus", "fault"}
 
 // String returns the layer's lowercase name.
 func (l Layer) String() string {
@@ -168,6 +172,20 @@ const (
 	// A = subscription ID.
 	BusDeliver
 
+	// FaultCrash: a node was crashed by the fault injector.
+	FaultCrash
+	// FaultRecover: a crashed node was restarted by the fault injector.
+	FaultRecover
+	// FaultPartition: the medium was split into isolated groups.
+	// Node = -1, A = number of explicit groups installed.
+	FaultPartition
+	// FaultHeal: a partition was removed. Node = -1.
+	FaultHeal
+	// FaultLink: a directed link's delivery ratio was overridden (burst
+	// loss, flapping). A = the link's far end, F = the new PRR
+	// (negative = override removed, the link is restored).
+	FaultLink
+
 	numTypes
 	// TypeAny matches every type in a Filter.
 	TypeAny Type = 0xff
@@ -207,6 +225,11 @@ var typeInfo = [numTypes]struct {
 	CoAPTimeout:      {LayerCoAP, "timeout"},
 	BusPublish:       {LayerBus, "publish"},
 	BusDeliver:       {LayerBus, "deliver"},
+	FaultCrash:       {LayerFault, "crash"},
+	FaultRecover:     {LayerFault, "recover"},
+	FaultPartition:   {LayerFault, "partition"},
+	FaultHeal:        {LayerFault, "heal"},
+	FaultLink:        {LayerFault, "link"},
 }
 
 // Layer returns the protocol layer the type belongs to.
