@@ -8,6 +8,7 @@
 //	iiotsim -nodes 49 -topology grid -mac csma -duration 5m
 //	iiotsim -nodes 25 -mac lpl -wake 500ms -kill 12@60s,7@90s -duration 4m
 //	iiotsim -nodes 25 -profiles csma,lpl -duration 5m   # heterogeneous fleet
+//	iiotsim -scenario 'scn1;seed=42;topo=grid:n=16;hb=5s;churn=odd:up=25s:minup=20s:down=6s:mindown=5s'
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"iiotds/internal/core"
 	"iiotds/internal/fault"
 	"iiotds/internal/radio"
+	"iiotds/internal/scenario"
 	"iiotds/internal/sim"
 	"iiotds/internal/trace"
 )
@@ -46,7 +48,13 @@ func main() {
 	traceNode := flag.Int("trace-node", unsetNode, "restrict -trace-out to one node ID (-1 = network-wide events)")
 	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to one layer: radio, mac, link, rpl, coap, or bus")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end")
+	scenarioSpec := flag.String("scenario", "", "replay a scenario reproducer string (scn1;...) instead of building from flags; exits 1 if an invariant is violated")
 	flag.Parse()
+
+	if *scenarioSpec != "" {
+		runScenario(*scenarioSpec)
+		return
+	}
 
 	var positions radio.Topology
 	switch *topology {
@@ -213,6 +221,34 @@ func main() {
 		}
 		fmt.Printf("metrics: Prometheus-text snapshot in %s\n", *metricsOut)
 	}
+}
+
+// runScenario replays one scenario reproducer string — the format the
+// property harness (internal/scenario) stamps on every run and shrinks
+// failures down to — and reports the verdict. The run is fully
+// deterministic, so a reproducer pasted from a CI failure replays the
+// exact same fault schedule and violations locally.
+func runScenario(line string) {
+	spec, err := scenario.Parse(line)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("scenario: %s\n", scenario.Format(spec))
+	res := scenario.Run(spec, nil)
+	fmt.Printf("converged: %v (in %v)\n", res.Converged, res.ConvergeIn)
+	fmt.Printf("churn: %d crashes, %d recoveries\n", res.Crashes, res.Recoveries)
+	fmt.Printf("workload: probes %d ok / %d failed, pushes %d/%d delivered, %d agg epochs, heartbeats %d ok / %d sent\n",
+		res.ProbeOK, res.ProbeFail, res.PushDelivered, res.Pushes, res.AggEpochs, res.HeartbeatOK, res.Heartbeats)
+	if !res.Failed() {
+		fmt.Println("PASS: all invariants held")
+		return
+	}
+	fmt.Printf("FAIL: %d invariant violation(s)\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
 }
 
 // writeFileWith creates path, hands it to fn, and closes it, reporting

@@ -35,6 +35,7 @@ var protocolLayers = []string{
 	"internal/trace",
 	"internal/fault",
 	"internal/core",
+	"internal/scenario",
 }
 
 func main() {

@@ -107,9 +107,10 @@ type Factories struct {
 	Router func(k *sim.Kernel, lnk *link.Link, isRoot bool, root radio.NodeID, cfg rpl.Config, reg *metrics.Registry) *rpl.Router
 }
 
-// defaultMAC dispatches on the profile's MAC kind, stamping the class's
+// DefaultMAC builds the stock medium-access layer for one node: it
+// dispatches on the profile's MAC kind, stamping the class's
 // channel and tenant into the discipline config.
-func defaultMAC(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC {
+func DefaultMAC(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC {
 	switch p.MAC {
 	case MACLPL:
 		lcfg := p.LPL
@@ -132,7 +133,7 @@ func defaultMAC(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC {
 // withDefaults fills nil hooks with the default per-layer constructors.
 func (f Factories) withDefaults() Factories {
 	if f.MAC == nil {
-		f.MAC = defaultMAC
+		f.MAC = DefaultMAC
 	}
 	if f.Link == nil {
 		f.Link = link.New

@@ -87,7 +87,7 @@ func TestFactoriesInterpose(t *testing.T) {
 		s.Factories = Factories{
 			MAC: func(m *radio.Medium, id radio.NodeID, p *Profile) mac.MAC {
 				built[p.Name]++
-				return defaultMAC(m, id, p)
+				return DefaultMAC(m, id, p)
 			},
 			Link: func(id radio.NodeID, mc mac.MAC) *link.Link {
 				linkCalls++

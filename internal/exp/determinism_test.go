@@ -10,6 +10,7 @@ import (
 	"iiotds/internal/core"
 	"iiotds/internal/fault"
 	"iiotds/internal/radio"
+	"iiotds/internal/scenario"
 	"iiotds/internal/trace"
 )
 
@@ -184,6 +185,33 @@ func TestChurnDeterminism(t *testing.T) {
 	}
 	if again := schedule(1); !reflect.DeepEqual(a, again) {
 		t.Fatalf("seed 1 replay produced a different schedule")
+	}
+}
+
+// TestScenarioQuickDeterminism pins the property harness to the same
+// parallelism contract as the experiment tables: a fixed-seed
+// scenario.Quick sweep produces a byte-identical report log (including
+// the FNV digest over every trial's full Result) on one worker and on
+// eight. The harness fans triples across the same trial runner the
+// experiments use, so this is the end-to-end proof that a CI property
+// failure replays identically on a laptop at any -parallel.
+func TestScenarioQuickDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	cfg := scenario.QuickConfig{Triples: 12, Seed: 5}
+	SetParallelism(1)
+	seq := scenario.Quick(cfg)
+	SetParallelism(8)
+	par := scenario.Quick(cfg)
+	SetParallelism(0)
+	defer SetParallelism(0)
+	if seq.Log != par.Log {
+		t.Fatalf("scenario.Quick log at -parallel 8 differs from -parallel 1:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq.Log, par.Log)
+	}
+	if seq.Failed() {
+		t.Fatalf("clean stack failed the property sweep:\n%s", seq.Log)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"iiotds/internal/mac"
 	"iiotds/internal/radio"
 	"iiotds/internal/rpl"
+	"iiotds/internal/scenario"
 	"iiotds/internal/sim"
 )
 
@@ -49,32 +50,6 @@ func e13Fleets(wake time.Duration) []e13Fleet {
 	}
 }
 
-// e13Topology is a plant spine: the border router at the origin, a chain
-// of `spine` backbone routers 15 m apart, and `leaves` leaf sensors hung
-// 12 m off each backbone router. Every leaf reaches at least one
-// backbone router reliably; leaf readings cross 1..spine+1 hops.
-func e13Topology(spine, leaves int) core.Topology {
-	topo := core.Topology{{Pos: radio.Position{}, Profile: "backbone"}}
-	for s := 1; s <= spine; s++ {
-		topo = append(topo, core.NodeSpec{
-			Pos: radio.Position{X: float64(s) * 15}, Profile: "backbone",
-		})
-	}
-	for s := 1; s <= spine; s++ {
-		for l := 0; l < leaves; l++ {
-			y := 12.0
-			if l%2 == 1 {
-				y = -12
-			}
-			topo = append(topo, core.NodeSpec{
-				Pos:     radio.Position{X: float64(s)*15 + float64(l/2)*4, Y: y},
-				Profile: "leaf",
-			})
-		}
-	}
-	return topo
-}
-
 // e13Class is one (fleet, device class) measurement.
 type e13Class struct {
 	nodes     int
@@ -92,16 +67,18 @@ type e13Run struct {
 	leaf      e13Class
 }
 
-// runE13 builds one fleet on the shared-spine topology, converges it,
-// then has every leaf push one reading upward per period for window;
-// it measures delivery, end-to-end latency, and the per-class
+// runE13 builds one fleet on the scenario cluster topology — a plant
+// spine with the border router at the origin, `spine` backbone routers
+// 15 m apart, and `leaves` leaf sensors hung 12 m off each — converges
+// it, then has every leaf push one reading upward per period for
+// window; it measures delivery, end-to-end latency, and the per-class
 // radio-on fraction over the window.
 func runE13(tr *Trial, fleet e13Fleet, spine, leaves int, seed int64, period, window time.Duration) e13Run {
-	d := core.NewStack(core.Stack{
+	d := scenario.Build(scenario.Spec{
 		Seed:     seed,
+		Topo:     scenario.TopoSpec{Kind: scenario.TopoCluster, Heads: spine, Members: leaves},
 		Profiles: []core.Profile{fleet.backbone, fleet.leaf},
-		Topology: e13Topology(spine, leaves),
-	})
+	}).D
 	tr.Observe(d.K)
 	tr.ObserveTrace(d.Trace)
 

@@ -7,9 +7,9 @@ import (
 
 	"iiotds/internal/coap"
 	"iiotds/internal/core"
-	"iiotds/internal/fault"
 	"iiotds/internal/radio"
 	"iiotds/internal/rpl"
+	"iiotds/internal/scenario"
 )
 
 // e14Run is one churn-soak measurement: a fleet held under sustained,
@@ -31,10 +31,10 @@ type e14Run struct {
 
 // e14Params sizes one soak.
 type e14Params struct {
-	n    int
-	seed int64
-	soak time.Duration
-	cfg  fault.ChurnConfig
+	n      int
+	seed   int64
+	soak   time.Duration
+	faults scenario.FaultSpec
 	// reqEvery is the CoAP probe period; drain bounds the post-soak
 	// settling phase (recoveries owed, rejoins, CON timeouts).
 	reqEvery time.Duration
@@ -59,19 +59,22 @@ func e14Healthy(d *core.Deployment, id radio.NodeID) bool {
 // slice (never a map), and per-node ledger stats are folded in sorted
 // Components() order — so the row is byte-identical at any -parallel.
 func runE14(tr *Trial, p e14Params) e14Run {
-	d := core.NewDeployment(core.Config{
+	b := scenario.Build(scenario.Spec{
 		Seed:     p.seed,
-		Topology: radio.GridTopology(p.n, 15),
+		Topo:     scenario.TopoSpec{Kind: scenario.TopoGrid, N: p.n},
 		WithCoAP: true,
+		Faults:   p.faults,
 	})
+	d := b.D
 	tr.Observe(d.K)
 	tr.ObserveTrace(d.Trace)
 	d.RunUntilConverged(3 * time.Minute)
 
-	ledger := fault.NewLedger(d.K.Now())
-	inj := fault.NewInjector(d.K, d.M, d, ledger)
-	inj.SetRecorder(d.Trace)
-	churn := fault.NewChurn(inj, p.seed*7919+13, p.cfg)
+	// Arm after convergence so the reliability ledger's observation
+	// window starts at steady state, not mid-join.
+	b.ArmFaults()
+	ledger, churn := b.Ledger, b.Churn
+	churners := p.faults.Churn.Resolve(p.n)
 
 	// Rejoin probe: every recovery opens a measurement window; a 1 s
 	// poller closes it when the node is healthily attached again. A
@@ -83,7 +86,7 @@ func runE14(tr *Trial, p e14Params) e14Run {
 	churn.OnRecover = func(id radio.NodeID) { pendingSince[id] = d.K.Now() }
 	churn.OnCrash = func(id radio.NodeID) { delete(pendingSince, id) }
 	poll := d.K.Every(time.Second, 0, func() {
-		for _, id := range p.cfg.Nodes {
+		for _, id := range churners {
 			t0, open := pendingSince[id]
 			if !open || !e14Healthy(d, id) {
 				continue
@@ -101,14 +104,14 @@ func runE14(tr *Trial, p e14Params) e14Run {
 	// CoAP workload: every churn node serves /status; the border router
 	// probes them round-robin with confirmable GETs. Requests addressed
 	// to a crashed node exercise the retransmit-then-ErrTimeout path.
-	for _, id := range p.cfg.Nodes {
+	for _, id := range churners {
 		d.Nodes[int(id)].Server.Resource("status").Get(
 			func(string, *coap.Message) *coap.Message { return coap.TextResponse("ok") })
 	}
 	outstanding := 0
 	next := 0
 	workload := d.K.Every(p.reqEvery, 0, func() {
-		id := p.cfg.Nodes[next%len(p.cfg.Nodes)]
+		id := churners[next%len(churners)]
 		next++
 		outstanding++
 		d.Root().CoAP.Get(strconv.Itoa(int(id)), "status", func(m *coap.Message, err error) {
@@ -133,7 +136,7 @@ func runE14(tr *Trial, p e14Params) e14Run {
 	for d.K.Now() < deadline {
 		if outstanding == 0 && len(pendingSince) == 0 {
 			settled := true
-			for _, id := range p.cfg.Nodes {
+			for _, id := range churners {
 				if !e14Healthy(d, id) {
 					settled = false
 					break
@@ -174,34 +177,28 @@ func runE14(tr *Trial, p e14Params) e14Run {
 	return out
 }
 
-// e14Churn builds the churn profile for an n-node grid: crash/recover
-// churn over the odd-numbered half of the fleet (the root, node 0, is
-// never crashed), one flapping link, one Gilbert–Elliott bursty link,
-// and periodic partition storms that cleave off the far half.
-func e14Churn(n int, up, minUp, down, minDown, flap, part time.Duration, hold time.Duration) fault.ChurnConfig {
-	var churners []radio.NodeID
-	for i := 1; i < n; i += 2 {
-		churners = append(churners, radio.NodeID(i))
-	}
-	var far []radio.NodeID
-	for i := n / 2; i < n; i++ {
-		far = append(far, radio.NodeID(i))
-	}
-	return fault.ChurnConfig{
-		Nodes:  churners,
+// e14Faults builds the fault schedule for the soak: crash/recover churn
+// over the odd-numbered half of the fleet (the root, node 0, is never
+// crashed), one flapping link, one Gilbert–Elliott bursty link, and
+// periodic partition storms that cleave off the far half. The spec is
+// fleet-size independent; scenario.Build expands it per n.
+func e14Faults(up, minUp, down, minDown, flap, part, hold time.Duration) scenario.FaultSpec {
+	return scenario.FaultSpec{
+		Churn:  scenario.NodeSel{Kind: "odd"},
 		MeanUp: up, MinUp: minUp,
 		MeanDown: down, MinDown: minDown,
 
-		FlapLinks: [][2]radio.NodeID{{1, 2}},
-		MeanFlap:  flap,
+		FlapLink:  [2]int{1, 2},
+		FlapEvery: flap,
 		FlapPRR:   0.2,
 
-		GELinks: []fault.GELink{{A: 5, B: 8, PGoodBad: 0.1, PBadGood: 0.3, BadPRR: 0.3}},
-		GEStep:  5 * time.Second,
+		GELink:     [2]int{5, 8},
+		GEPGoodBad: 0.1, GEPBadGood: 0.3, GEBadPRR: 0.3,
+		GEStep: 5 * time.Second,
 
-		MeanPartition: part,
-		PartitionHold: hold,
-		Groups:        [][]radio.NodeID{far},
+		Part:      scenario.NodeSel{Kind: "farhalf"},
+		PartEvery: part,
+		PartHold:  hold,
 	}
 }
 
@@ -215,18 +212,14 @@ func e14Churn(n int, up, minUp, down, minDown, flap, part time.Duration, hold ti
 func E14ChurnSoak(s Scale) *Table {
 	sizes := []int{9, 16}
 	soak := 6 * time.Minute
-	mk := func(n int) fault.ChurnConfig {
-		return e14Churn(n, 25*time.Second, 25*time.Second, 5*time.Second, 5*time.Second,
-			60*time.Second, 150*time.Second, 10*time.Second)
-	}
+	faults := e14Faults(25*time.Second, 25*time.Second, 5*time.Second, 5*time.Second,
+		60*time.Second, 150*time.Second, 10*time.Second)
 	reqEvery := 5 * time.Second
 	if s == Full {
 		sizes = []int{16, 36}
 		soak = 30 * time.Minute
-		mk = func(n int) fault.ChurnConfig {
-			return e14Churn(n, 90*time.Second, 60*time.Second, 20*time.Second, 10*time.Second,
-				120*time.Second, 400*time.Second, 15*time.Second)
-		}
+		faults = e14Faults(90*time.Second, 60*time.Second, 20*time.Second, 10*time.Second,
+			120*time.Second, 400*time.Second, 15*time.Second)
 		reqEvery = 10 * time.Second
 	}
 
@@ -242,7 +235,7 @@ func E14ChurnSoak(s Scale) *Table {
 			n:        n,
 			seed:     1501 + int64(n),
 			soak:     soak,
-			cfg:      mk(n),
+			faults:   faults,
 			reqEvery: reqEvery,
 			drain:    4 * time.Minute,
 		})

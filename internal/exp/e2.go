@@ -11,6 +11,7 @@ import (
 	"iiotds/internal/lowpan"
 	"iiotds/internal/metrics"
 	"iiotds/internal/radio"
+	"iiotds/internal/scenario"
 )
 
 // collectStats summarizes one collection run.
@@ -25,15 +26,16 @@ type collectStats struct {
 	netDatagrams float64
 }
 
-// runCollection builds an n-node grid and collects one reading per node
-// per epoch for dur, either as raw per-node pushes or through in-network
-// aggregation. It returns per-run statistics. It is one trial: the whole
-// run lives on its own kernel, registered with tr for stats aggregation.
+// runCollection builds an n-node grid (declared as a scenario spec) and
+// collects one reading per node per epoch for dur, either as raw
+// per-node pushes or through in-network aggregation. It returns per-run
+// statistics. It is one trial: the whole run lives on its own kernel,
+// registered with tr for stats aggregation.
 func runCollection(tr *Trial, n int, seed int64, useAgg bool, epoch, dur time.Duration) collectStats {
-	d := core.NewDeployment(core.Config{
-		Seed:     seed,
-		Topology: radio.GridTopology(n, 15),
-	})
+	d := scenario.Build(scenario.Spec{
+		Seed: seed,
+		Topo: scenario.TopoSpec{Kind: scenario.TopoGrid, N: n},
+	}).D
 	tr.Observe(d.K)
 	tr.ObserveTrace(d.Trace)
 	st := collectStats{n: n}

@@ -30,6 +30,11 @@ const (
 	ProtoGossip Proto = 2
 	// ProtoRaw carries application-defined bytes.
 	ProtoRaw Proto = 3
+	// ProtoScenario carries the scenario engine's AEAD-sealed heartbeats
+	// (internal/scenario), kept on their own protocol number so scenario
+	// instrumentation never collides with application traffic. Proto 4 is
+	// taken by agg.ProtoAgg (declared in internal/agg).
+	ProtoScenario Proto = 5
 )
 
 // Datagram is the network-layer unit routed end-to-end across the mesh.

@@ -1,0 +1,443 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The reproducer codec. Format renders an encodable Spec as a single
+// version-tagged line and Parse reads it back; the round-trip law
+// Parse(Format(s)) == canonical(s) is pinned by tests and fuzzed. The
+// string is the currency of the property harness: a failing triple is
+// shrunk, printed as this line, and replayed with `iiotsim -scenario`.
+//
+// Grammar (fields `;`-separated, subfields `:`-separated):
+//
+//	scn1;seed=42;topo=grid:n=16:sp=15;classes=csma+lpl@250ms;coap=1;
+//	conv=3m0s;soak=2m0s;drain=1m0s;check=10s;probe=5s;push=10s;
+//	agg=10s;hb=15s;churn=odd:up=25s:minup=25s:down=5s:mindown=5s;
+//	flap=1-2:every=60s:prr=0.2;ge=5-8:pgb=0.1:pbg=0.3:bad=0.3:step=5s;
+//	part=farhalf:every=2m30s:hold=10s;trace=65536
+//
+// Workload and fault fields are omitted when disabled; durations use
+// time.Duration.String(); floats use the shortest exact decimal; list
+// selectors use `.`-separated IDs (`list(1.3.5)`). The Profiles and
+// Factories expert seams are deliberately not representable — specs
+// using them are built in Go, not replayed from strings.
+
+// codecVersion tags the reproducer grammar.
+const codecVersion = "scn1"
+
+// Format renders the spec as a reproducer string. The spec is
+// canonicalized (defaults applied) first, so the output names a
+// concrete run. Panics if the spec is not Encodable — callers gate on
+// Spec.Encodable.
+func Format(s Spec) string {
+	if !s.Encodable() {
+		panic("scenario: Format on a spec with Profiles/Factories seams")
+	}
+	s.applyDefaults()
+	var b strings.Builder
+	b.WriteString(codecVersion)
+	fmt.Fprintf(&b, ";seed=%d", s.Seed)
+	b.WriteString(";topo=")
+	b.WriteString(formatTopo(s.Topo))
+	b.WriteString(";classes=")
+	for i, c := range s.Classes {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		kind := c.Kind
+		if kind == "" {
+			kind = "csma"
+		}
+		b.WriteString(kind)
+		if c.Wake > 0 {
+			b.WriteByte('@')
+			b.WriteString(c.Wake.String())
+		}
+	}
+	if s.WithCoAP {
+		b.WriteString(";coap=1")
+	}
+	fmt.Fprintf(&b, ";conv=%s;soak=%s;drain=%s;check=%s", s.Converge, s.Soak, s.Drain, s.CheckEvery)
+	if d := s.Workload.ProbeEvery; d > 0 {
+		fmt.Fprintf(&b, ";probe=%s", d)
+	}
+	if d := s.Workload.PushEvery; d > 0 {
+		fmt.Fprintf(&b, ";push=%s", d)
+	}
+	if d := s.Workload.AggEpoch; d > 0 {
+		fmt.Fprintf(&b, ";agg=%s", d)
+	}
+	if d := s.Workload.HeartbeatEvery; d > 0 {
+		fmt.Fprintf(&b, ";hb=%s", d)
+	}
+	f := s.Faults
+	if f.Churn.Kind != "" {
+		fmt.Fprintf(&b, ";churn=%s:up=%s:minup=%s:down=%s:mindown=%s",
+			formatSel(f.Churn), f.MeanUp, f.MinUp, f.MeanDown, f.MinDown)
+	}
+	if f.FlapEvery > 0 && f.FlapLink != [2]int{} {
+		fmt.Fprintf(&b, ";flap=%d-%d:every=%s:prr=%s",
+			f.FlapLink[0], f.FlapLink[1], f.FlapEvery, ff(f.FlapPRR))
+	}
+	if f.GEStep > 0 && f.GELink != [2]int{} {
+		fmt.Fprintf(&b, ";ge=%d-%d:pgb=%s:pbg=%s:bad=%s:step=%s",
+			f.GELink[0], f.GELink[1], ff(f.GEPGoodBad), ff(f.GEPBadGood), ff(f.GEBadPRR), f.GEStep)
+	}
+	if f.PartEvery > 0 && f.Part.Kind != "" {
+		fmt.Fprintf(&b, ";part=%s:every=%s:hold=%s", formatSel(f.Part), f.PartEvery, f.PartHold)
+	}
+	if s.TraceCapacity != 0 {
+		fmt.Fprintf(&b, ";trace=%d", s.TraceCapacity)
+	}
+	return b.String()
+}
+
+// formatTopo renders the topology subfields for the spec's kind.
+func formatTopo(t TopoSpec) string {
+	switch t.Kind {
+	case TopoCluster:
+		return fmt.Sprintf("cluster:heads=%d:mem=%d:hs=%s:dy=%s:dx=%s",
+			t.Heads, t.Members, ff(t.HeadSpacing), ff(t.MemberDY), ff(t.MemberDX))
+	case TopoRGG:
+		return fmt.Sprintf("rgg:n=%d:area=%s:link=%s", t.N, ff(t.Area), ff(t.MaxLink))
+	default:
+		return fmt.Sprintf("%s:n=%d:sp=%s", t.Kind, t.N, ff(t.Spacing))
+	}
+}
+
+// formatSel renders a node selector.
+func formatSel(s NodeSel) string {
+	if s.Kind != "list" {
+		return s.Kind
+	}
+	parts := make([]string, len(s.IDs))
+	for i, id := range s.IDs {
+		parts[i] = strconv.Itoa(id)
+	}
+	return "list(" + strings.Join(parts, ".") + ")"
+}
+
+// ff renders a float with the shortest exact decimal.
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse reads a reproducer string back into a validated, canonical
+// Spec. It is the inverse of Format and the fuzzing surface: any input
+// must either parse into a spec Validate accepts or return an error —
+// never panic.
+func Parse(in string) (Spec, error) {
+	var s Spec
+	fields := strings.Split(in, ";")
+	if fields[0] != codecVersion {
+		return s, fmt.Errorf("scenario: not a %s reproducer string", codecVersion)
+	}
+	seen := map[string]bool{}
+	for _, field := range fields[1:] {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok || val == "" {
+			return s, fmt.Errorf("scenario: malformed field %q", field)
+		}
+		if seen[key] {
+			return s, fmt.Errorf("scenario: duplicate field %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "topo":
+			s.Topo, err = parseTopo(val)
+		case "classes":
+			s.Classes, err = parseClasses(val)
+		case "coap":
+			if val != "1" {
+				err = fmt.Errorf("scenario: coap must be 1, got %q", val)
+			}
+			s.WithCoAP = true
+		case "conv":
+			s.Converge, err = parseDur(val)
+		case "soak":
+			s.Soak, err = parseDur(val)
+		case "drain":
+			s.Drain, err = parseDur(val)
+		case "check":
+			s.CheckEvery, err = parseDur(val)
+		case "probe":
+			s.Workload.ProbeEvery, err = parseDur(val)
+		case "push":
+			s.Workload.PushEvery, err = parseDur(val)
+		case "agg":
+			s.Workload.AggEpoch, err = parseDur(val)
+		case "hb":
+			s.Workload.HeartbeatEvery, err = parseDur(val)
+		case "churn":
+			err = parseChurn(val, &s.Faults)
+		case "flap":
+			err = parseFlap(val, &s.Faults)
+		case "ge":
+			err = parseGE(val, &s.Faults)
+		case "part":
+			err = parsePart(val, &s.Faults)
+		case "trace":
+			s.TraceCapacity, err = strconv.Atoi(val)
+		default:
+			err = fmt.Errorf("scenario: unknown field %q", key)
+		}
+		if err != nil {
+			return Spec{}, err
+		}
+	}
+	if !seen["seed"] || !seen["topo"] {
+		return Spec{}, fmt.Errorf("scenario: reproducer missing seed or topo")
+	}
+	s.applyDefaults()
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// parseDur parses a non-negative, finite duration.
+func parseDur(val string) (time.Duration, error) {
+	d, err := time.ParseDuration(val)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: bad duration %q", val)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("scenario: negative duration %q", val)
+	}
+	return d, nil
+}
+
+// parseFloat parses a float in [0, max].
+func parseFloat(val string, max float64) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || !finite(f) || f < 0 || f > max {
+		return 0, fmt.Errorf("scenario: bad value %q", val)
+	}
+	return f, nil
+}
+
+// subfields splits a `:`-separated value into its head and a k=v map,
+// rejecting malformed or duplicate entries and keys outside allowed.
+func subfields(val string, allowed ...string) (head string, kv map[string]string, err error) {
+	parts := strings.Split(val, ":")
+	head = parts[0]
+	kv = make(map[string]string, len(parts)-1)
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || v == "" {
+			return "", nil, fmt.Errorf("scenario: malformed subfield %q", p)
+		}
+		if _, dup := kv[k]; dup {
+			return "", nil, fmt.Errorf("scenario: duplicate subfield %q", k)
+		}
+		found := false
+		for _, a := range allowed {
+			if k == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", nil, fmt.Errorf("scenario: unknown subfield %q", k)
+		}
+		kv[k] = v
+	}
+	return head, kv, nil
+}
+
+// parseTopo reads the topo field. The allowed subfields depend on the
+// kind so that irrelevant parameters (which Format would drop) cannot
+// smuggle into a parsed spec and break round-trip stability.
+func parseTopo(val string) (TopoSpec, error) {
+	var allowed []string
+	switch head, _, _ := strings.Cut(val, ":"); TopoKind(head) {
+	case TopoCluster:
+		allowed = []string{"heads", "mem", "hs", "dy", "dx"}
+	case TopoRGG:
+		allowed = []string{"n", "area", "link"}
+	default:
+		allowed = []string{"n", "sp"}
+	}
+	kind, kv, err := subfields(val, allowed...)
+	if err != nil {
+		return TopoSpec{}, err
+	}
+	t := TopoSpec{Kind: TopoKind(kind)}
+	getInt := func(key string, dst *int) {
+		if err != nil || kv[key] == "" {
+			return
+		}
+		*dst, err = strconv.Atoi(kv[key])
+	}
+	getF := func(key string, dst *float64) {
+		if err != nil || kv[key] == "" {
+			return
+		}
+		*dst, err = parseFloat(kv[key], 1e6)
+	}
+	getInt("n", &t.N)
+	getInt("heads", &t.Heads)
+	getInt("mem", &t.Members)
+	getF("sp", &t.Spacing)
+	getF("hs", &t.HeadSpacing)
+	getF("dy", &t.MemberDY)
+	getF("dx", &t.MemberDX)
+	getF("area", &t.Area)
+	getF("link", &t.MaxLink)
+	if err != nil {
+		return TopoSpec{}, err
+	}
+	return t, nil
+}
+
+// parseClasses reads the `+`-separated class list.
+func parseClasses(val string) ([]ClassSpec, error) {
+	var out []ClassSpec
+	for _, part := range strings.Split(val, "+") {
+		kind, wake, hasWake := strings.Cut(part, "@")
+		c := ClassSpec{Kind: kind}
+		if _, err := c.macKind(); err != nil || kind == "" {
+			return nil, fmt.Errorf("scenario: bad class %q", part)
+		}
+		if hasWake {
+			d, err := parseDur(wake)
+			if err != nil {
+				return nil, err
+			}
+			c.Wake = d
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// parseSel reads a node selector head.
+func parseSel(head string) (NodeSel, error) {
+	if ids, ok := strings.CutPrefix(head, "list("); ok {
+		ids, ok = strings.CutSuffix(ids, ")")
+		if !ok {
+			return NodeSel{}, fmt.Errorf("scenario: malformed selector %q", head)
+		}
+		sel := NodeSel{Kind: "list"}
+		for _, p := range strings.Split(ids, ".") {
+			id, err := strconv.Atoi(p)
+			if err != nil {
+				return NodeSel{}, fmt.Errorf("scenario: bad selector ID %q", p)
+			}
+			sel.IDs = append(sel.IDs, id)
+		}
+		return sel, nil
+	}
+	switch head {
+	case "odd", "even", "farhalf":
+		return NodeSel{Kind: head}, nil
+	}
+	return NodeSel{}, fmt.Errorf("scenario: unknown selector %q", head)
+}
+
+// parseLink reads an `a-b` node pair.
+func parseLink(head string) ([2]int, error) {
+	a, b, ok := strings.Cut(head, "-")
+	if !ok {
+		return [2]int{}, fmt.Errorf("scenario: malformed link %q", head)
+	}
+	ai, err1 := strconv.Atoi(a)
+	bi, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || ai == bi {
+		return [2]int{}, fmt.Errorf("scenario: malformed link %q", head)
+	}
+	return [2]int{ai, bi}, nil
+}
+
+// parsePeriod parses a strictly positive duration — the fault sections
+// below are only encoded when active, so a zero period would not
+// round-trip.
+func parsePeriod(val string) (time.Duration, error) {
+	d, err := parseDur(val)
+	if err == nil && d == 0 {
+		err = fmt.Errorf("scenario: zero fault period")
+	}
+	return d, err
+}
+
+// parseChurn reads the churn field into the fault spec.
+func parseChurn(val string, f *FaultSpec) error {
+	head, kv, err := subfields(val, "up", "minup", "down", "mindown")
+	if err != nil {
+		return err
+	}
+	if f.Churn, err = parseSel(head); err != nil {
+		return err
+	}
+	for key, dst := range map[string]*time.Duration{
+		"up": &f.MeanUp, "minup": &f.MinUp, "down": &f.MeanDown, "mindown": &f.MinDown,
+	} {
+		if kv[key] == "" {
+			continue
+		}
+		if *dst, err = parseDur(kv[key]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFlap reads the flap field into the fault spec.
+func parseFlap(val string, f *FaultSpec) error {
+	head, kv, err := subfields(val, "every", "prr")
+	if err != nil {
+		return err
+	}
+	if f.FlapLink, err = parseLink(head); err != nil {
+		return err
+	}
+	if f.FlapEvery, err = parsePeriod(kv["every"]); err != nil {
+		return err
+	}
+	f.FlapPRR, err = parseFloat(kv["prr"], 1)
+	return err
+}
+
+// parseGE reads the Gilbert–Elliott field into the fault spec.
+func parseGE(val string, f *FaultSpec) error {
+	head, kv, err := subfields(val, "pgb", "pbg", "bad", "step")
+	if err != nil {
+		return err
+	}
+	if f.GELink, err = parseLink(head); err != nil {
+		return err
+	}
+	if f.GEPGoodBad, err = parseFloat(kv["pgb"], 1); err != nil {
+		return err
+	}
+	if f.GEPBadGood, err = parseFloat(kv["pbg"], 1); err != nil {
+		return err
+	}
+	if f.GEBadPRR, err = parseFloat(kv["bad"], 1); err != nil {
+		return err
+	}
+	f.GEStep, err = parsePeriod(kv["step"])
+	return err
+}
+
+// parsePart reads the partition field into the fault spec.
+func parsePart(val string, f *FaultSpec) error {
+	head, kv, err := subfields(val, "every", "hold")
+	if err != nil {
+		return err
+	}
+	if f.Part, err = parseSel(head); err != nil {
+		return err
+	}
+	if f.PartEvery, err = parsePeriod(kv["every"]); err != nil {
+		return err
+	}
+	f.PartHold, err = parseDur(kv["hold"])
+	return err
+}

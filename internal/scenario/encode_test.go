@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"iiotds/internal/core"
+	"iiotds/internal/mac"
+	"iiotds/internal/radio"
+)
+
+func specFixtures() []Spec {
+	return []Spec{
+		{Seed: 1, Topo: TopoSpec{Kind: TopoGrid, N: 9}},
+		{
+			Seed: 42,
+			Topo: TopoSpec{Kind: TopoCluster, Heads: 3, Members: 2},
+			Classes: []ClassSpec{
+				{Kind: "csma"},
+				{Kind: "lpl", Wake: 250 * time.Millisecond},
+			},
+			WithCoAP: true,
+			Workload: WorkloadSpec{
+				ProbeEvery: 5 * time.Second, PushEvery: 10 * time.Second,
+				AggEpoch: 15 * time.Second, HeartbeatEvery: 20 * time.Second,
+			},
+			Faults: FaultSpec{
+				Churn:  NodeSel{Kind: "odd"},
+				MeanUp: 25 * time.Second, MinUp: 20 * time.Second,
+				MeanDown: 6 * time.Second, MinDown: 5 * time.Second,
+				FlapLink: [2]int{1, 2}, FlapEvery: time.Minute, FlapPRR: 0.2,
+				GELink: [2]int{5, 8}, GEPGoodBad: 0.1, GEPBadGood: 0.3,
+				GEBadPRR: 0.3, GEStep: 5 * time.Second,
+				Part: NodeSel{Kind: "farhalf"}, PartEvery: 150 * time.Second,
+				PartHold: 10 * time.Second,
+			},
+			TraceCapacity: 1 << 14,
+		},
+		{
+			Seed:   -7,
+			Topo:   TopoSpec{Kind: TopoRGG, N: 12},
+			Faults: FaultSpec{Churn: NodeSel{Kind: "list", IDs: []int{1, 3, 5}}, MeanUp: 30 * time.Second, MinUp: 30 * time.Second, MeanDown: 5 * time.Second, MinDown: 5 * time.Second},
+		},
+		{Seed: 0, Topo: TopoSpec{Kind: TopoPipeline, N: 5}, Classes: []ClassSpec{{Kind: "rimac"}}},
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	for _, spec := range specFixtures() {
+		line := Format(spec)
+		got, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		want := spec
+		want.applyDefaults()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip drifted:\n line: %s\n got:  %+v\n want: %+v", line, got, want)
+		}
+		if again := Format(got); again != line {
+			t.Errorf("Format not stable:\n  %s\n  %s", line, again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"scn2;seed=1;topo=grid:n=9",
+		"scn1",
+		"scn1;topo=grid:n=9",                                    // missing seed
+		"scn1;seed=1",                                           // missing topo
+		"scn1;seed=1;seed=2;topo=grid:n=9",                      // duplicate field
+		"scn1;seed=1;topo=grid:n=9;bogus=1",                     // unknown field
+		"scn1;seed=1;topo=grid:n=9:heads=3",                     // subfield of wrong kind
+		"scn1;seed=1;topo=grid:n=1",                             // fleet too small
+		"scn1;seed=1;topo=torus:n=9",                            // unknown kind
+		"scn1;seed=1;topo=grid:n=9;classes=tdma",                // unknown class
+		"scn1;seed=1;topo=grid:n=9;probe=5s",                    // probe without coap
+		"scn1;seed=1;topo=grid:n=9;conv=-3s",                    // negative duration
+		"scn1;seed=1;topo=grid:n=9;churn=odd:up=25s",            // churn with no recovery delay
+		"scn1;seed=1;topo=grid:n=9;flap=2-2:every=10s:prr=0.1",  // degenerate link
+		"scn1;seed=1;topo=grid:n=9;flap=1-20:every=10s:prr=0.1", // link out of range
+		"scn1;seed=1;topo=grid:n=9;flap=1-2:every=0s:prr=0.1",   // zero period
+		"scn1;seed=1;topo=grid:n=9;ge=1-2:pgb=1.5:pbg=0.3:bad=0.3:step=5s", // p>1
+		"scn1;seed=1;topo=grid:n=9;churn=list(0.3):up=25s:down=5s",         // root in list
+		"scn1;seed=1;topo=grid:n=9;coap=yes",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestParseCanonicalizesDurations(t *testing.T) {
+	// Non-canonical duration spellings parse fine; Format then emits the
+	// canonical spelling, and that line is a fixed point.
+	in := "scn1;seed=1;topo=grid:n=9;conv=180s"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Converge != 3*time.Minute {
+		t.Fatalf("conv = %s", s.Converge)
+	}
+	line := Format(s)
+	if !strings.Contains(line, "conv=3m0s") {
+		t.Errorf("canonical line %q should spell conv=3m0s", line)
+	}
+	s2, err := Parse(line)
+	if err != nil || Format(s2) != line {
+		t.Errorf("canonical line is not a fixed point: %q", line)
+	}
+}
+
+func TestFormatPanicsOnExpertSeams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Format should panic on a spec with Factories")
+		}
+	}()
+	s := Spec{Seed: 1, Topo: TopoSpec{Kind: TopoGrid, N: 4}}
+	s.Factories.MAC = func(*radio.Medium, radio.NodeID, *core.Profile) mac.MAC { return nil }
+	Format(s)
+}

@@ -1,0 +1,293 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"iiotds/internal/core"
+	"iiotds/internal/radio"
+	"iiotds/internal/rpl"
+	"iiotds/internal/trace"
+)
+
+// The invariant catalog. Each invariant is a property that must hold on
+// every run of every scenario — the cross-layer correctness conditions
+// the paper says a deployment must keep through faults, not a
+// per-protocol unit assertion. A run fails iff it produces at least one
+// Violation.
+//
+//   - causal-delivery: the radio never delivers a frame whose sender
+//     has no prior transmission, no frame is transmitted by a crashed
+//     node, and trace timestamps never run backwards. Checked by a
+//     post-run scan of the flight-recorder stream (skipped if the ring
+//     wrapped, since the transmit history would be incomplete).
+//   - energy-monotone: every node's cumulative energy spend is
+//     non-decreasing between snapshots — a ledger that "refunds" joules
+//     would silently corrupt every lifetime result.
+//   - dodag-acyclic: following preferred parents from any node
+//     terminates at the root or a detached node within n hops. RPL only
+//     promises eventual loop freedom — micro-loops during a parent
+//     switch are protocol-legal and observed to hold up to ~40 s on
+//     duty-cycled pipelines under load — so a node is convicted only
+//     when its parent chain has been looping continuously for the loop
+//     grace period (3×CheckEvery, at least 60 s): a wedged loop is
+//     permanent, so the grace only needs to clear the legal-transient
+//     tail. The drain phase additionally waits for a loop-free instant,
+//     so a fleet that cannot reach one before the drain deadline
+//     surfaces through the rejoin/finish checks.
+//   - replay-monotone: the secured heartbeat stream never trips the
+//     receiver's anti-replay window on a genuine frame. Counters must
+//     survive (or be re-keyed across) reboots; a node that reuses an
+//     old session after recovery replays counters the root has already
+//     seen. Fed by the heartbeat workload in run.go.
+//   - rejoin: after the drain phase, every churned node is back up and
+//     attached to the DODAG through a live parent — self-repair
+//     completed unattended. Checked at Finish.
+//
+// Invariant names are stable identifiers: reproducer logs, shrinking,
+// and CI alerts reference them.
+const (
+	InvCausal  = "causal-delivery"
+	InvEnergy  = "energy-monotone"
+	InvAcyclic = "dodag-acyclic"
+	InvReplay  = "replay-monotone"
+	InvRejoin  = "rejoin"
+)
+
+// Violation is one observed breach of an invariant.
+type Violation struct {
+	// Invariant is the stable name of the breached property.
+	Invariant string
+	// At is the virtual time of the observation.
+	At time.Duration
+	// Node is the node the violation was observed on (-1 if global).
+	Node int
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String renders the violation for logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s @%s node=%d: %s", v.Invariant, v.At, v.Node, v.Detail)
+}
+
+// maxViolations bounds how many violations one run records; a broken
+// invariant often fires on every snapshot, and one witness per failure
+// mode is all shrinking needs.
+const maxViolations = 16
+
+// checker evaluates the invariant catalog over one deployment run:
+// periodic snapshots for the state invariants (energy, DODAG), a final
+// trace scan for causality, and hooks for the workload-fed invariants.
+type checker struct {
+	d          *core.Deployment
+	violations []Violation
+	lastEnergy []float64
+	checkEvery time.Duration
+	// loopSince records the virtual time each node's parent chain was
+	// first observed looping (-1 = not looping); conviction requires the
+	// loop to outlive loopGrace (see the catalog).
+	loopSince []time.Duration
+}
+
+// loopGraceMin floors the routing-loop grace period well above the
+// repair times legal transients exhibit (~40 s worst observed on a
+// duty-cycled pipeline under load).
+const loopGraceMin = 60 * time.Second
+
+func (c *checker) loopGrace() time.Duration {
+	if g := 3 * c.checkEvery; g > loopGraceMin {
+		return g
+	}
+	return loopGraceMin
+}
+
+// newChecker snapshots the initial state and returns the checker.
+// Callers drive it with snapshot (periodically, every checkEvery, from a
+// kernel callback) and finish (after the drain phase).
+func newChecker(d *core.Deployment, checkEvery time.Duration) *checker {
+	c := &checker{
+		d:          d,
+		lastEnergy: make([]float64, len(d.Nodes)),
+		checkEvery: checkEvery,
+		loopSince:  make([]time.Duration, len(d.Nodes)),
+	}
+	for i := range d.Nodes {
+		c.lastEnergy[i] = d.M.Energy().Ledger(i).TotalJoules()
+		c.loopSince[i] = -1
+	}
+	return c
+}
+
+// add records a violation, capped at maxViolations.
+func (c *checker) add(v Violation) {
+	if len(c.violations) < maxViolations {
+		c.violations = append(c.violations, v)
+	}
+}
+
+// snapshot evaluates the state invariants at the current virtual time.
+func (c *checker) snapshot() {
+	now := time.Duration(c.d.K.Now())
+	for i := range c.d.Nodes {
+		j := c.d.M.Energy().Ledger(i).TotalJoules()
+		if j < c.lastEnergy[i] {
+			c.add(Violation{
+				Invariant: InvEnergy, At: now, Node: i,
+				Detail: fmt.Sprintf("total energy decreased %.9g → %.9g J", c.lastEnergy[i], j),
+			})
+		}
+		c.lastEnergy[i] = j
+	}
+	c.checkAcyclic(now)
+}
+
+// checkAcyclic walks preferred-parent pointers from every node; any
+// walk longer than the fleet size has necessarily revisited a node. A
+// node is convicted only when its loop has outlived loopGrace —
+// short-lived micro-loops during parent switches are legal RPL.
+func (c *checker) checkAcyclic(now time.Duration) {
+	n := len(c.d.Nodes)
+	witnessed := false
+	for i := range c.d.Nodes {
+		hops := 0
+		at := radio.NodeID(i)
+		for at != 0 && hops <= n {
+			p := c.d.Nodes[int(at)].Router.Parent()
+			if p == rpl.NoParent {
+				break
+			}
+			at = p
+			hops++
+		}
+		if hops <= n {
+			c.loopSince[i] = -1
+			continue
+		}
+		if c.loopSince[i] < 0 {
+			c.loopSince[i] = now
+			continue
+		}
+		if held := now - c.loopSince[i]; held >= c.loopGrace() && !witnessed {
+			witnessed = true // one witness per snapshot is enough
+			c.add(Violation{
+				Invariant: InvAcyclic, At: now, Node: i,
+				Detail: fmt.Sprintf("parent chain from node %d looping for %s", i, held),
+			})
+		}
+	}
+}
+
+// replay records a replay-monotone violation (fed by the heartbeat
+// workload when the root rejects a genuine frame as replayed).
+func (c *checker) replay(node int, detail string) {
+	c.add(Violation{
+		Invariant: InvReplay, At: time.Duration(c.d.K.Now()), Node: node, Detail: detail,
+	})
+}
+
+// finish runs the end-of-run invariants: the causal trace scan and the
+// rejoin check over the churned selection.
+func (c *checker) finish(churned []radio.NodeID) []Violation {
+	c.snapshot()
+	c.checkCausal()
+	now := time.Duration(c.d.K.Now())
+	for _, id := range churned {
+		if !healthy(c.d, id) {
+			c.add(Violation{
+				Invariant: InvRejoin, At: now, Node: int(id),
+				Detail: "churned node not healthily attached after drain",
+			})
+		}
+	}
+	return c.violations
+}
+
+// loopFree reports whether no node's parent chain is currently looping.
+// The drain phase polls it so runs end at a loop-free instant when the
+// protocol can reach one.
+func loopFree(d *core.Deployment) bool {
+	n := len(d.Nodes)
+	for i := range d.Nodes {
+		hops := 0
+		at := radio.NodeID(i)
+		for at != 0 && hops <= n {
+			p := d.Nodes[int(at)].Router.Parent()
+			if p == rpl.NoParent {
+				break
+			}
+			at = p
+			hops++
+		}
+		if hops > n {
+			return false
+		}
+	}
+	return true
+}
+
+// healthy reports whether a node is up and attached to the DODAG
+// through a live parent — the e10/e14 notion of repaired (right after
+// churn, nodes can still point at corpses).
+func healthy(d *core.Deployment, id radio.NodeID) bool {
+	n := d.Nodes[int(id)]
+	if !n.Up() || n.Router.Partitioned() {
+		return false
+	}
+	p := n.Router.Parent()
+	return p != rpl.NoParent && d.Nodes[int(p)].Up()
+}
+
+// checkCausal scans the flight-recorder stream in emission order: every
+// delivery must be preceded by a transmission from its sender, no
+// crashed node may transmit, and timestamps must be non-decreasing. The
+// scan is skipped when the ring dropped events (incomplete history) or
+// tracing is disabled.
+func (c *checker) checkCausal() {
+	rec := c.d.Trace
+	if !rec.Enabled() || rec.Dropped() > 0 {
+		return
+	}
+	n := len(c.d.Nodes)
+	txSeen := make([]bool, n)
+	down := make([]bool, n)
+	var last trace.Time
+	rec.Each(trace.All(), func(e trace.Event) {
+		if e.At < last {
+			c.add(Violation{
+				Invariant: InvCausal, At: e.At, Node: int(e.Node),
+				Detail: fmt.Sprintf("trace time ran backwards (%s after %s)", e.At, last),
+			})
+		}
+		last = e.At
+		switch e.Type {
+		case trace.RadioTx:
+			node := int(e.Node)
+			if node >= 0 && node < n {
+				if down[node] {
+					c.add(Violation{
+						Invariant: InvCausal, At: e.At, Node: node,
+						Detail: "crashed node transmitted",
+					})
+				}
+				txSeen[node] = true
+			}
+		case trace.RadioDeliver:
+			sender := int(e.A)
+			if sender >= 0 && sender < n && !txSeen[sender] {
+				c.add(Violation{
+					Invariant: InvCausal, At: e.At, Node: int(e.Node),
+					Detail: fmt.Sprintf("delivery from node %d with no prior transmission", sender),
+				})
+			}
+		case trace.FaultCrash:
+			if node := int(e.Node); node >= 0 && node < n {
+				down[node] = true
+			}
+		case trace.FaultRecover:
+			if node := int(e.Node); node >= 0 && node < n {
+				down[node] = false
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"iiotds/internal/core"
+	"iiotds/internal/mac"
+	"iiotds/internal/radio"
+)
+
+// fullSpec is a scenario exercising every workload and the churn engine
+// at once — the closest thing to a deployment soak in one spec.
+func fullSpec() Spec {
+	return Spec{
+		Seed:     7,
+		Topo:     TopoSpec{Kind: TopoGrid, N: 9},
+		WithCoAP: true,
+		Soak:     45 * time.Second,
+		Drain:    2 * time.Minute,
+		Workload: WorkloadSpec{
+			ProbeEvery:     5 * time.Second,
+			PushEvery:      5 * time.Second,
+			AggEpoch:       10 * time.Second,
+			HeartbeatEvery: 5 * time.Second,
+		},
+		Faults: FaultSpec{
+			Churn:  NodeSel{Kind: "odd"},
+			MeanUp: 25 * time.Second, MinUp: 20 * time.Second,
+			MeanDown: 6 * time.Second, MinDown: 5 * time.Second,
+		},
+	}
+}
+
+func TestRunFullScenario(t *testing.T) {
+	r := Run(fullSpec(), nil)
+	if !r.Converged {
+		t.Fatalf("fleet did not converge")
+	}
+	for _, v := range r.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if r.Crashes == 0 || r.Recoveries != r.Crashes {
+		t.Errorf("churn: %d crashes, %d recoveries", r.Crashes, r.Recoveries)
+	}
+	if r.ProbeOK == 0 || r.Pushes == 0 || r.PushDelivered == 0 || r.AggEpochs == 0 || r.HeartbeatOK == 0 {
+		t.Errorf("workloads idle: %+v", r)
+	}
+	if r.Repro == "" {
+		t.Error("encodable spec produced no reproducer")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, b := Run(fullSpec(), nil), Run(fullSpec(), nil)
+	if a.Repro != b.Repro || a.Crashes != b.Crashes || a.Heartbeats != b.Heartbeats ||
+		a.Pushes != b.Pushes || a.ProbeOK != b.ProbeOK || a.ConvergeIn != b.ConvergeIn ||
+		len(a.Violations) != len(b.Violations) {
+		t.Errorf("identical specs diverged:\n %+v\n %+v", a, b)
+	}
+}
+
+func TestRunHeterogeneousCluster(t *testing.T) {
+	spec := Spec{
+		Seed: 3,
+		Topo: TopoSpec{Kind: TopoCluster, Heads: 3, Members: 2},
+		Classes: []ClassSpec{
+			{Kind: "csma"},
+			{Kind: "lpl", Wake: 250 * time.Millisecond},
+		},
+		Soak:     30 * time.Second,
+		Workload: WorkloadSpec{PushEvery: 5 * time.Second},
+	}
+	r := Run(spec, nil)
+	if !r.Converged {
+		t.Fatal("cluster fleet did not converge")
+	}
+	if r.Failed() {
+		t.Fatalf("violations: %v", r.Violations)
+	}
+	if r.PushDelivered == 0 {
+		t.Error("no pushes delivered across the spine")
+	}
+}
+
+// TestReplayBugCaught reintroduces the reuse-old-session-after-reboot
+// bug family (the PR 5 state-reset class: volatile counters lost in a
+// crash while the peer's window survives) and proves the
+// replay-monotone invariant convicts it.
+func TestReplayBugCaught(t *testing.T) {
+	rekeyOnReboot = false
+	t.Cleanup(func() { rekeyOnReboot = true })
+
+	spec := fullSpec()
+	spec.Workload = WorkloadSpec{HeartbeatEvery: 3 * time.Second}
+	spec.WithCoAP = false
+	r := Run(spec, nil)
+	if !r.Converged {
+		t.Fatal("fleet did not converge")
+	}
+	if r.Crashes == 0 {
+		t.Fatal("churn never fired; the bug cannot manifest")
+	}
+	found := false
+	for _, v := range r.Violations {
+		if v.Invariant == InvReplay {
+			found = true
+		} else {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+	if !found {
+		t.Error("replay-monotone invariant missed the stale-session bug")
+	}
+}
+
+// deafMAC is a planted defect for the rejoin invariant: the MAC works
+// until the first reboot, after which it drops every incoming frame at
+// the radio boundary — a device whose receive path does not survive a
+// restart.
+type deafMAC struct {
+	mac.MAC
+	deaf bool
+}
+
+func (d *deafMAC) RadioReceive(f radio.Frame) {
+	if d.deaf {
+		return
+	}
+	d.MAC.(radio.Receiver).RadioReceive(f)
+}
+
+func (d *deafMAC) Reboot() {
+	d.deaf = true
+	d.MAC.Reboot()
+}
+
+func plantDeafMAC(s *Spec) {
+	s.Factories.MAC = func(m *radio.Medium, id radio.NodeID, p *core.Profile) mac.MAC {
+		return &deafMAC{MAC: core.DefaultMAC(m, id, p)}
+	}
+}
+
+// TestRejoinBugCaught plants the deaf-after-reboot MAC under the full
+// scenario and proves the rejoin invariant convicts it.
+func TestRejoinBugCaught(t *testing.T) {
+	spec := fullSpec()
+	plantDeafMAC(&spec)
+	r := Run(spec, nil)
+	if !r.Converged {
+		t.Fatal("fleet did not converge")
+	}
+	if r.Crashes == 0 {
+		t.Fatal("churn never fired; the bug cannot manifest")
+	}
+	found := false
+	for _, v := range r.Violations {
+		if v.Invariant == InvRejoin {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rejoin invariant missed the deaf-after-reboot MAC; violations: %v", r.Violations)
+	}
+	if r.Repro != "" {
+		t.Error("spec with factories must not claim to be encodable")
+	}
+	if !strings.Contains(reproOf(spec), "non-encodable") {
+		t.Error("reproOf should mark factory specs non-encodable")
+	}
+}

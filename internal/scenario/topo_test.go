@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"testing"
+
+	"iiotds/internal/radio"
+)
+
+// maxReliableLink mirrors radio.DefaultParams().RangeReliable: generators
+// promise connectivity through links no longer than this.
+const maxReliableLink = 20.0
+
+// connected reports whether the positions form a connected graph under
+// links of length ≤ maxLink.
+func connected(pos []struct{ X, Y float64 }, maxLink float64) bool {
+	n := len(pos)
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < n; j++ {
+			if seen[j] {
+				continue
+			}
+			dx, dy := pos[i].X-pos[j].X, pos[i].Y-pos[j].Y
+			if dx*dx+dy*dy <= maxLink*maxLink {
+				seen[j] = true
+				count++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count == n
+}
+
+func flatten(t radio.Topology) []struct{ X, Y float64 } {
+	out := make([]struct{ X, Y float64 }, len(t))
+	for i, p := range t {
+		out[i] = struct{ X, Y float64 }{p.X, p.Y}
+	}
+	return out
+}
+
+func TestTopoNodeCounts(t *testing.T) {
+	cases := []struct {
+		spec TopoSpec
+		want int
+	}{
+		{TopoSpec{Kind: TopoGrid, N: 9}, 9},
+		{TopoSpec{Kind: TopoPipeline, N: 6}, 6},
+		{TopoSpec{Kind: TopoRGG, N: 14}, 14},
+		{TopoSpec{Kind: TopoCluster, Heads: 3, Members: 4}, 1 + 3*5},
+		{TopoSpec{Kind: TopoCluster, Heads: 2, Members: 0}, 3},
+	}
+	for _, c := range cases {
+		if got := c.spec.Nodes(); got != c.want {
+			t.Errorf("%s: Nodes() = %d, want %d", c.spec.Kind, got, c.want)
+		}
+		if got := len(c.spec.Generate(1)); got != c.want {
+			t.Errorf("%s: len(Generate) = %d, want %d", c.spec.Kind, got, c.want)
+		}
+	}
+}
+
+func TestTopoSeedDeterminism(t *testing.T) {
+	specs := []TopoSpec{
+		{Kind: TopoGrid, N: 16},
+		{Kind: TopoPipeline, N: 8},
+		{Kind: TopoCluster, Heads: 3, Members: 3},
+		{Kind: TopoRGG, N: 24},
+	}
+	for _, s := range specs {
+		a, b := s.Generate(42), s.Generate(42)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", s.Kind)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: position %d differs across identical seeds: %v vs %v", s.Kind, i, a[i], b[i])
+			}
+		}
+	}
+	// Different seeds must move an RGG (the only seed-sensitive kind).
+	s := TopoSpec{Kind: TopoRGG, N: 24}
+	a, b := s.Generate(1), s.Generate(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("rgg: identical layout for different seeds")
+	}
+}
+
+func TestTopoConnectivity(t *testing.T) {
+	// At the documented defaults (grid/pipeline spacing 15 m, RGG
+	// max-link 18 m vs the 20 m reliable range) every generated layout
+	// must be connected through reliable links.
+	specs := []TopoSpec{
+		{Kind: TopoGrid, N: 25},
+		{Kind: TopoPipeline, N: 10},
+		{Kind: TopoCluster, Heads: 4, Members: 4},
+	}
+	for _, s := range specs {
+		if !connected(flatten(s.Generate(7)), maxReliableLink) {
+			t.Errorf("%s: generated layout is not connected at reliable range", s.Kind)
+		}
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		s := TopoSpec{Kind: TopoRGG, N: 20}
+		if !connected(flatten(s.Generate(seed)), maxReliableLink) {
+			t.Errorf("rgg seed %d: layout not connected at reliable range", seed)
+		}
+	}
+}
+
+func TestTopoClusterLabels(t *testing.T) {
+	s := TopoSpec{Kind: TopoCluster, Heads: 2, Members: 2}
+	s.applyDefaults()
+	labels := s.Labels()
+	if len(labels) != s.Nodes() {
+		t.Fatalf("labels length %d, want %d", len(labels), s.Nodes())
+	}
+	wantBackbone := 1 + s.Heads
+	backbone := 0
+	for _, l := range labels {
+		switch l {
+		case "backbone":
+			backbone++
+		case "leaf":
+		default:
+			t.Fatalf("unexpected label %q", l)
+		}
+	}
+	if backbone != wantBackbone {
+		t.Errorf("backbone labels = %d, want %d", backbone, wantBackbone)
+	}
+	if (TopoSpec{Kind: TopoGrid, N: 4}).Labels() != nil {
+		t.Error("grid topology should have no labels")
+	}
+}
+
+func TestTopoValidate(t *testing.T) {
+	bad := []TopoSpec{
+		{Kind: "torus", N: 9},
+		{Kind: TopoGrid, N: 1},
+		{Kind: TopoGrid, N: 5000},
+		{Kind: TopoCluster, Heads: 0},
+		{Kind: TopoGrid, N: 9, Spacing: -1},
+		{Kind: TopoRGG, N: 9, MaxLink: -2},
+	}
+	for _, s := range bad {
+		if err := s.validate(); err == nil {
+			t.Errorf("%+v: validate accepted invalid spec", s)
+		}
+	}
+}

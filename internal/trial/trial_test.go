@@ -1,4 +1,4 @@
-package exp
+package trial
 
 import (
 	"fmt"
@@ -95,24 +95,6 @@ func TestSweepThreadsPoints(t *testing.T) {
 func TestObserveNilTrial(t *testing.T) {
 	var tr *Trial
 	tr.Observe(sim.New(1)) // must not panic
-}
-
-func TestByID(t *testing.T) {
-	for _, id := range []string{"E1", "e1", "F1", "e10"} {
-		r, ok := ByID(id)
-		if !ok {
-			t.Fatalf("ByID(%q) not found", id)
-		}
-		if r.Run == nil {
-			t.Fatalf("ByID(%q) returned runner without Run", id)
-		}
-	}
-	if _, ok := ByID("E99"); ok {
-		t.Fatal("ByID(E99) should not resolve")
-	}
-	if _, ok := ByID(""); ok {
-		t.Fatal("ByID(\"\") should not resolve")
-	}
 }
 
 func TestSetParallelismClamp(t *testing.T) {
