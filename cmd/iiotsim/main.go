@@ -46,13 +46,27 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the deployment's flight-recorder events (JSONL) to this file")
 	traceCap := flag.Int("trace-capacity", 1<<16, "flight-recorder ring capacity (with -trace-out)")
 	traceNode := flag.Int("trace-node", unsetNode, "restrict -trace-out to one node ID (-1 = network-wide events)")
-	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to one layer: radio, mac, link, rpl, coap, or bus")
+	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to a comma-separated set of layers: radio, mac, link, rpl, coap, bus, fault")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end")
 	scenarioSpec := flag.String("scenario", "", "replay a scenario reproducer string (scn1;...) instead of building from flags; exits 1 if an invariant is violated")
 	flag.Parse()
 
+	// The export filter is shared by the flag-built and -scenario paths.
+	filter := trace.All()
+	if *traceNode != unsetNode {
+		filter = filter.ByNode(int32(*traceNode))
+	}
+	if *traceLayer != "" {
+		layers, err := parseLayers(*traceLayer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+			os.Exit(2)
+		}
+		filter = filter.ByLayers(layers...)
+	}
+
 	if *scenarioSpec != "" {
-		runScenario(*scenarioSpec)
+		runScenario(*scenarioSpec, *traceOut, filter)
 		return
 	}
 
@@ -191,20 +205,8 @@ func main() {
 		d.M.Energy().MeanTotalJoules(), worst, joules)
 
 	if *traceOut != "" {
-		f := trace.All()
-		if *traceNode != unsetNode {
-			f = f.ByNode(int32(*traceNode))
-		}
-		if *traceLayer != "" {
-			l, ok := trace.ParseLayer(*traceLayer)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "iiotsim: unknown layer %q\n", *traceLayer)
-				os.Exit(2)
-			}
-			f = f.ByLayer(l)
-		}
 		if err := writeFileWith(*traceOut, func(w *os.File) error {
-			return d.Trace.WriteJSONL(w, f)
+			return d.Trace.WriteJSONL(w, filter)
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
 			os.Exit(1)
@@ -227,8 +229,9 @@ func main() {
 // property harness (internal/scenario) stamps on every run and shrinks
 // failures down to — and reports the verdict. The run is fully
 // deterministic, so a reproducer pasted from a CI failure replays the
-// exact same fault schedule and violations locally.
-func runScenario(line string) {
+// exact same fault schedule and violations locally. With -trace-out the
+// run's flight-recorder stream is exported (filtered) for iiottrace.
+func runScenario(line, traceOut string, filter trace.Filter) {
 	spec, err := scenario.Parse(line)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
@@ -240,6 +243,16 @@ func runScenario(line string) {
 	fmt.Printf("churn: %d crashes, %d recoveries\n", res.Crashes, res.Recoveries)
 	fmt.Printf("workload: probes %d ok / %d failed, pushes %d/%d delivered, %d agg epochs, heartbeats %d ok / %d sent\n",
 		res.ProbeOK, res.ProbeFail, res.PushDelivered, res.Pushes, res.AggEpochs, res.HeartbeatOK, res.Heartbeats)
+	if traceOut != "" {
+		if err := writeFileWith(traceOut, func(w *os.File) error {
+			return res.Trace.WriteJSONL(w, filter)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events recorded (%d dropped by the ring), filtered dump in %s\n",
+			res.Trace.Total(), res.Trace.Dropped(), traceOut)
+	}
 	if !res.Failed() {
 		fmt.Println("PASS: all invariants held")
 		return
@@ -249,6 +262,27 @@ func runScenario(line string) {
 		fmt.Printf("  %s\n", v)
 	}
 	os.Exit(1)
+}
+
+// parseLayers parses a comma-separated -trace-layer value ("mac,rpl")
+// into trace layers.
+func parseLayers(spec string) ([]trace.Layer, error) {
+	var layers []trace.Layer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		l, ok := trace.ParseLayer(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown layer %q (want radio, mac, link, rpl, coap, bus, or fault)", name)
+		}
+		layers = append(layers, l)
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("empty -trace-layer value %q", spec)
+	}
+	return layers, nil
 }
 
 // writeFileWith creates path, hands it to fn, and closes it, reporting

@@ -1,0 +1,279 @@
+// Command iiottrace analyses a flight-recorder dump (the JSONL written
+// by iiotsim -trace-out) through the lens of packet journeys: the
+// correlation IDs every layer stamps on its events let the tool fold
+// the interleaved stream back into per-packet flight paths — hop by
+// hop, retry by retry — and answer the operator questions a raw event
+// log cannot: where did this packet spend its time, which exchanges
+// were slow, and what killed the ones that died.
+//
+// Examples:
+//
+//	iiotsim -nodes 25 -duration 2m -trace-out trace.jsonl
+//	iiottrace trace.jsonl                  # journey summary + aggregates
+//	iiottrace -slowest 10 trace.jsonl      # waterfalls of the 10 slowest
+//	iiottrace -journey 42 trace.jsonl      # one journey in full
+//	iiottrace -failed trace.jsonl          # post-mortems of failed journeys
+//	iiottrace -check -min-coverage 0.99 t.jsonl  # CI gate on journey coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/trace"
+)
+
+func main() {
+	journeyID := flag.Uint64("journey", 0, "print the waterfall of one journey ID")
+	slowest := flag.Int("slowest", 0, "print waterfalls of the N slowest journeys")
+	failed := flag.Bool("failed", false, "print post-mortems of every journey that did not end delivered")
+	check := flag.Bool("check", false, "exit 1 unless CoAP journey coverage is at least -min-coverage")
+	minCoverage := flag.Float64("min-coverage", 0.99, "minimum fraction of delivered CoAP exchanges that must reconstruct into complete journeys (with -check)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: iiottrace [flags] <trace.jsonl>  (\"-\" reads stdin)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	events, err := readTrace(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iiottrace: %v\n", err)
+		os.Exit(1)
+	}
+	journeys := trace.Journeys(events)
+
+	switch {
+	case *check:
+		os.Exit(runCheck(events, *minCoverage))
+	case *journeyID != 0:
+		for _, j := range journeys {
+			if j.ID == *journeyID {
+				printWaterfall(j)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "iiottrace: no journey %d in trace (%d journeys present)\n",
+			*journeyID, len(journeys))
+		os.Exit(1)
+	case *slowest > 0:
+		sorted := append([]*trace.Journey(nil), journeys...)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			return sorted[a].Duration() > sorted[b].Duration()
+		})
+		if len(sorted) > *slowest {
+			sorted = sorted[:*slowest]
+		}
+		fmt.Printf("%d slowest of %d journeys:\n\n", len(sorted), len(journeys))
+		for _, j := range sorted {
+			printWaterfall(j)
+			fmt.Println()
+		}
+	case *failed:
+		n := 0
+		for _, j := range journeys {
+			if j.Outcome == trace.OutcomeDelivered {
+				continue
+			}
+			n++
+			printWaterfall(j)
+			fmt.Println()
+		}
+		fmt.Printf("%d of %d journeys did not end delivered\n", n, len(journeys))
+	default:
+		printSummary(events, journeys)
+	}
+}
+
+// readTrace loads a JSONL dump from path ("-" = stdin).
+func readTrace(path string) ([]trace.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadJSONL(r)
+}
+
+// runCheck is the CI gate: coverage of delivered CoAP exchanges by
+// complete journeys must meet the threshold. No exchanges at all is a
+// vacuous pass (scenarios without a CoAP workload).
+func runCheck(events []trace.Event, min float64) int {
+	cov, tot := trace.CoAPCoverage(events)
+	if tot == 0 {
+		fmt.Println("coverage: no delivered CoAP exchanges in trace (vacuous pass)")
+		return 0
+	}
+	frac := float64(cov) / float64(tot)
+	fmt.Printf("coverage: %d/%d delivered CoAP exchanges reconstruct completely (%.2f%%, threshold %.2f%%)\n",
+		cov, tot, 100*frac, 100*min)
+	if frac < min {
+		fmt.Println("FAIL: journey coverage below threshold")
+		return 1
+	}
+	fmt.Println("PASS")
+	return 0
+}
+
+// printSummary reports the whole trace: journey census by outcome,
+// aggregate hop/latency statistics, and CoAP coverage.
+func printSummary(events []trace.Event, journeys []*trace.Journey) {
+	reg := metrics.NewRegistry()
+	trace.ObserveJourneys(journeys, reg)
+
+	byOutcome := make(map[trace.Outcome]int)
+	for _, j := range journeys {
+		byOutcome[j.Outcome]++
+	}
+	var parts []string
+	for o := trace.OutcomeIncomplete; o <= trace.OutcomeCoAPTimeout; o++ {
+		if n := byOutcome[o]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, o))
+		}
+	}
+	fmt.Printf("trace: %d events, %d journeys (%s)\n",
+		len(events), len(journeys), strings.Join(parts, ", "))
+
+	if cov, tot := trace.CoAPCoverage(events); tot > 0 {
+		fmt.Printf("coap: %d/%d delivered exchanges reconstruct completely (%.1f%%)\n",
+			cov, tot, 100*float64(cov)/float64(tot))
+	}
+	if len(journeys) == 0 {
+		fmt.Println("no journeys in trace (events predate journey IDs, or carry only control traffic)")
+		return
+	}
+	hops := reg.Histogram("journey.hops").Stats()
+	fmt.Printf("hops:         mean %.1f  p50 %.0f  p99 %.0f  max %.0f\n",
+		hops.Mean, hops.P50, hops.P99, hops.Max)
+	printDurStats("duration:    ", reg.Histogram("journey.duration_seconds").Stats())
+	printDurStats("hop latency: ", reg.Histogram("journey.hop_latency_seconds").Stats())
+	retries := reg.Histogram("journey.retries").Stats()
+	fmt.Printf("retries:      mean %.2f  max %.0f\n", retries.Mean, retries.Max)
+
+	// Fleet-wide layer residency: where packets spend their time.
+	layerTotals := make([]time.Duration, len(trace.Journey{}.LayerNanos))
+	var total time.Duration
+	for _, j := range journeys {
+		for l, d := range j.LayerNanos {
+			layerTotals[l] += d
+			total += d
+		}
+	}
+	if total > 0 {
+		fmt.Printf("time by layer:%s\n", layerBreakdown(layerTotals, total))
+	}
+}
+
+func printDurStats(label string, s metrics.HistStats) {
+	if s.Count == 0 {
+		return
+	}
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	fmt.Printf("%s mean %v  p50 %v  p99 %v  max %v\n",
+		label, sec(s.Mean).Round(time.Microsecond), sec(s.P50).Round(time.Microsecond),
+		sec(s.P99).Round(time.Microsecond), sec(s.Max).Round(time.Microsecond))
+}
+
+// layerBreakdown renders per-layer durations as " mac 62% (1.2s)" terms,
+// largest first, dropping layers under 1%.
+func layerBreakdown(totals []time.Duration, sum time.Duration) string {
+	type item struct {
+		l trace.Layer
+		d time.Duration
+	}
+	var items []item
+	for l, d := range totals {
+		if d > 0 {
+			items = append(items, item{trace.Layer(l), d})
+		}
+	}
+	sort.SliceStable(items, func(a, b int) bool { return items[a].d > items[b].d })
+	var sb strings.Builder
+	for _, it := range items {
+		pct := 100 * float64(it.d) / float64(sum)
+		if pct < 1 {
+			break
+		}
+		fmt.Fprintf(&sb, "  %s %.0f%%", it.l, pct)
+	}
+	return sb.String()
+}
+
+// printWaterfall renders one journey: a header with its vital signs, the
+// per-layer latency breakdown, the hop sequence, and every event on a
+// time-scaled gutter.
+func printWaterfall(j *trace.Journey) {
+	fmt.Printf("journey %d  %s  %d hops  %d retries  %d backoffs  %d losses  %v\n",
+		j.ID, j.Outcome, len(j.Hops), j.Retries, j.Backoffs, j.Losses,
+		j.Duration().Round(time.Microsecond))
+	if b := layerBreakdown(j.LayerNanos[:], j.Duration()); b != "" {
+		fmt.Printf("  layers:%s\n", b)
+	}
+	if len(j.Hops) > 0 {
+		var sb strings.Builder
+		for i, h := range j.Hops {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%d→%d", h.From, h.To)
+			if h.Took > 0 {
+				fmt.Fprintf(&sb, " (%v)", h.Took.Round(time.Microsecond))
+			}
+		}
+		fmt.Printf("  path:   %s\n", sb.String())
+	}
+	const width = 32
+	dur := j.Duration()
+	for i, e := range j.Events {
+		offset := e.At - j.Start
+		// The gutter bar spans this event to the next — the span the
+		// event's layer "held" the packet.
+		var gutter [width]byte
+		for k := range gutter {
+			gutter[k] = ' '
+		}
+		lo := scale(offset, dur, width)
+		hi := lo
+		if i+1 < len(j.Events) {
+			hi = scale(j.Events[i+1].At-j.Start, dur, width)
+		}
+		for k := lo; k <= hi && k < width; k++ {
+			gutter[k] = '#'
+		}
+		fmt.Printf("  %12s  [%s]  node %-4d %s/%s  a=%d b=%d",
+			"+"+offset.Round(time.Microsecond).String(), gutter[:],
+			e.Node, e.Type.Layer(), e.Type, e.A, e.B)
+		if e.F != 0 {
+			fmt.Printf(" f=%g", e.F)
+		}
+		fmt.Println()
+	}
+}
+
+// scale maps an offset within [0, dur] to a column in [0, width).
+func scale(off, dur time.Duration, width int) int {
+	if dur <= 0 {
+		return 0
+	}
+	c := int(int64(off) * int64(width-1) / int64(dur))
+	if c < 0 {
+		c = 0
+	}
+	if c >= width {
+		c = width - 1
+	}
+	return c
+}

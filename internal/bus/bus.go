@@ -176,7 +176,7 @@ func (b *Broker) Subscribe(pattern string, handler Handler) (*Subscription, erro
 // the caller in sync mode, through the bounded queue otherwise.
 func (b *Broker) deliver(sub *subscription, m Message) {
 	if b.sync {
-		b.rec.Emit(-1, trace.BusDeliver, int64(sub.id), int64(len(m.Payload)), 0)
+		b.rec.Emit(-1, trace.BusDeliver, int64(sub.id), int64(len(m.Payload)), 0, 0)
 		sub.handler(m)
 		b.delivered.Inc()
 		return
@@ -234,7 +234,7 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 		return ErrClosed
 	}
 	b.published.Inc()
-	b.rec.Emit(-1, trace.BusPublish, int64(len(topic)), int64(len(m.Payload)), 0)
+	b.rec.Emit(-1, trace.BusPublish, int64(len(topic)), int64(len(m.Payload)), 0, 0)
 	if retain {
 		// The retained copy outlives the publish call, so it must own its
 		// payload — the caller's slice may be a pooled-buffer view that is

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"iiotds/internal/netbuf"
 	"iiotds/internal/trace"
 )
 
@@ -78,6 +79,7 @@ type outCON struct {
 	timeout  time.Duration
 	cancel   CancelFunc
 	onFail   func(err error)
+	journey  uint64
 }
 
 // reqState tracks a request awaiting its response (matched by token).
@@ -89,6 +91,7 @@ type reqState struct {
 	assembling []byte
 	origReq    *Message
 	addr       string
+	journey    uint64
 }
 
 type dedupEntry struct {
@@ -120,6 +123,14 @@ type Conn struct {
 	// callbacks.
 	rec       *trace.Recorder
 	traceNode int32
+
+	// js, when set, ties CoAP exchanges into the stack's packet
+	// journeys: a request allocates (or inherits) a journey ID, and
+	// every send — including message-layer retransmits — runs in that
+	// journey's context so the mesh datagrams underneath carry it.
+	// Leave nil on real-UDP endpoints (iiotgw), where there is no
+	// simulated packet path to correlate with.
+	js *netbuf.Journeys
 }
 
 // NewConn creates an endpoint over tr, driven by sched.
@@ -145,6 +156,32 @@ func NewConn(tr Transport, sched Scheduler, cfg ConnConfig) *Conn {
 func (c *Conn) SetTrace(rec *trace.Recorder, node int32) {
 	c.rec = rec
 	c.traceNode = node
+}
+
+// SetJourneys ties this endpoint into the stack's journey-ID context
+// (typically medium.Buffers().Journeys()). Simulation-only, like
+// SetTrace: the context is not concurrency-safe.
+func (c *Conn) SetJourneys(js *netbuf.Journeys) { c.js = js }
+
+// journeyCurrent returns the journey context's current ID (0 without a
+// context).
+func (c *Conn) journeyCurrent() uint64 {
+	if c.js == nil {
+		return 0
+	}
+	return c.js.Current()
+}
+
+// withJourney runs fn with jid installed as the current journey, so
+// transport sends underneath inherit it.
+func (c *Conn) withJourney(jid uint64, fn func()) {
+	if c.js == nil {
+		fn()
+		return
+	}
+	prev := c.js.SetCurrent(jid)
+	fn()
+	c.js.SetCurrent(prev)
 }
 
 // Serve installs a server (resource tree) on this endpoint.
@@ -270,10 +307,16 @@ func (c *Conn) Request(addr string, req *Message, fn ResponseFunc) {
 		req.Token = c.newToken()
 	}
 	req.MessageID = c.newMID()
-	c.rec.Emit(c.traceNode, trace.CoAPRequest, int64(req.MessageID), int64(req.Code), 0)
+	// The exchange's journey: continue the packet being processed (a
+	// request made from a receive handler), or start a fresh one.
+	jid := c.journeyCurrent()
+	if jid == 0 && c.js != nil {
+		jid = c.js.New()
+	}
+	c.rec.Emit(c.traceNode, trace.CoAPRequest, int64(req.MessageID), int64(req.Code), 0, jid)
 	obsOpt, isObs := req.Option(OptObserve)
 	observe := isObs && obsOpt.Uint() == 0
-	st := &reqState{fn: fn, observe: observe, origReq: req, addr: addr}
+	st := &reqState{fn: fn, observe: observe, origReq: req, addr: addr, journey: jid}
 	tk := tokenKey(addr, req.Token)
 	c.awaiting[tk] = st
 	if req.Type == NonConfirmable {
@@ -282,7 +325,9 @@ func (c *Conn) Request(addr string, req *Message, fn ResponseFunc) {
 		})
 	}
 	c.mu.Unlock()
-	c.send(addr, req, func(err error) { c.failRequest(tk, err) })
+	c.withJourney(jid, func() {
+		c.send(addr, req, func(err error) { c.failRequest(tk, err) })
+	})
 }
 
 // Get is a convenience confirmable GET.
@@ -369,7 +414,7 @@ func (c *Conn) send(addr string, m *Message, onFail func(err error)) {
 	if m.Type == Confirmable {
 		c.mu.Lock()
 		timeout := time.Duration(float64(c.cfg.AckTimeout) * (1 + (c.cfg.AckRandomFactor-1)*c.rng.Float64()))
-		p := &outCON{data: data, addr: addr, timeout: timeout, onFail: onFail}
+		p := &outCON{data: data, addr: addr, timeout: timeout, onFail: onFail, journey: c.journeyCurrent()}
 		k := key(addr, m.MessageID)
 		c.pending[k] = p
 		c.armRetransmit(k, p)
@@ -392,7 +437,7 @@ func (c *Conn) armRetransmit(k string, p *outCON) {
 			delete(c.pending, k)
 			onFail := p.onFail
 			c.mu.Unlock()
-			c.rec.Emit(c.traceNode, trace.CoAPTimeout, 0, int64(p.attempts), 0)
+			c.rec.Emit(c.traceNode, trace.CoAPTimeout, 0, int64(p.attempts), 0, p.journey)
 			if onFail != nil {
 				onFail(ErrTimeout)
 			}
@@ -402,8 +447,11 @@ func (c *Conn) armRetransmit(k string, p *outCON) {
 		c.armRetransmit(k, p)
 		data, addr := p.data, p.addr
 		c.mu.Unlock()
-		c.rec.Emit(c.traceNode, trace.CoAPRetransmit, 0, int64(p.attempts), 0)
-		_ = c.tr.Send(addr, data)
+		c.rec.Emit(c.traceNode, trace.CoAPRetransmit, 0, int64(p.attempts), 0, p.journey)
+		// The retransmitted copy continues the original journey.
+		c.withJourney(p.journey, func() {
+			_ = c.tr.Send(addr, data)
+		})
 	})
 }
 
@@ -495,8 +543,11 @@ func (c *Conn) handleResponse(from string, m *Message) {
 			next.AddUintOption(OptBlock2, (num+1)<<4|szx)
 			next.Payload = nil
 			addr := st.addr
+			jid := st.journey
 			c.mu.Unlock()
-			c.send(addr, &next, func(err error) { c.failRequest(tk, err) })
+			c.withJourney(jid, func() {
+				c.send(addr, &next, func(err error) { c.failRequest(tk, err) })
+			})
 			return
 		}
 		m.Payload = st.assembling
@@ -509,8 +560,9 @@ func (c *Conn) handleResponse(from string, m *Message) {
 		}
 	}
 	fn := st.fn
+	jid := st.journey
 	c.mu.Unlock()
-	c.rec.Emit(c.traceNode, trace.CoAPResponse, int64(m.MessageID), int64(m.Code), 0)
+	c.rec.Emit(c.traceNode, trace.CoAPResponse, int64(m.MessageID), int64(m.Code), 0, jid)
 	fn(m, nil)
 }
 

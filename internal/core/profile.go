@@ -317,6 +317,7 @@ func NewStack(cfg Stack) *Deployment {
 				AckTimeout: 4 * time.Second,
 			})
 			n.CoAP.SetTrace(d.Trace, int32(id))
+			n.CoAP.SetJourneys(d.M.Buffers().Journeys())
 			n.Server = coap.NewServer()
 			n.CoAP.Serve(n.Server)
 		}

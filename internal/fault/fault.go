@@ -64,7 +64,7 @@ func (inj *Injector) Crash(id radio.NodeID) {
 	if inj.ledger != nil {
 		inj.ledger.RecordFailure(fmt.Sprintf("node-%d", id), inj.k.Now())
 	}
-	inj.rec.Emit(int32(id), trace.FaultCrash, 0, 0, 0)
+	inj.rec.Emit(int32(id), trace.FaultCrash, 0, 0, 0, 0)
 }
 
 // Recover restarts a crashed node immediately.
@@ -76,7 +76,7 @@ func (inj *Injector) Recover(id radio.NodeID) {
 	if inj.ledger != nil {
 		inj.ledger.RecordRepair(fmt.Sprintf("node-%d", id), inj.k.Now())
 	}
-	inj.rec.Emit(int32(id), trace.FaultRecover, 0, 0, 0)
+	inj.rec.Emit(int32(id), trace.FaultRecover, 0, 0, 0, 0)
 }
 
 // CrashAt schedules a crash of node id at absolute time t.
@@ -105,7 +105,7 @@ func (inj *Injector) Partition(groups ...[]radio.NodeID) {
 	inj.m.SetLinkFilter(func(from, to radio.NodeID) bool {
 		return gm[from] == gm[to]
 	})
-	inj.rec.Emit(-1, trace.FaultPartition, int64(len(groups)), 0, 0)
+	inj.rec.Emit(-1, trace.FaultPartition, int64(len(groups)), 0, 0, 0)
 }
 
 // Heal removes the partition immediately.
@@ -114,7 +114,7 @@ func (inj *Injector) Heal() {
 	inj.partitioned = false
 	inj.mu.Unlock()
 	inj.m.SetLinkFilter(nil)
-	inj.rec.Emit(-1, trace.FaultHeal, 0, 0, 0)
+	inj.rec.Emit(-1, trace.FaultHeal, 0, 0, 0, 0)
 }
 
 // PartitionAt schedules a partition into groups at time t.
@@ -140,14 +140,14 @@ func (inj *Injector) Partitioned() bool {
 func (inj *Injector) DegradeLink(a, b radio.NodeID, prr float64) {
 	inj.m.SetLinkPRR(a, b, prr)
 	inj.m.SetLinkPRR(b, a, prr)
-	inj.rec.Emit(int32(a), trace.FaultLink, int64(b), 0, prr)
+	inj.rec.Emit(int32(a), trace.FaultLink, int64(b), 0, prr, 0)
 }
 
 // RestoreLink removes PRR overrides for the pair immediately.
 func (inj *Injector) RestoreLink(a, b radio.NodeID) {
 	inj.m.SetLinkPRR(a, b, -1)
 	inj.m.SetLinkPRR(b, a, -1)
-	inj.rec.Emit(int32(a), trace.FaultLink, int64(b), 0, -1)
+	inj.rec.Emit(int32(a), trace.FaultLink, int64(b), 0, -1, 0)
 }
 
 // DegradeLinkAt sets the directed link PRR at time t (both directions).

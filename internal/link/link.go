@@ -111,6 +111,9 @@ func (l *Link) Send(to radio.NodeID, proto Protocol, payload []byte, done func(o
 // the framed buffer across ARQ retransmissions instead of re-encoding.
 func (l *Link) SendBuf(to radio.NodeID, proto Protocol, b *netbuf.Buffer, done func(ok bool)) {
 	b.Prepend(1)[0] = byte(proto)
+	// The MAC owns b (and may have released it) by the time the done
+	// closure runs, so capture the journey ID now.
+	jid := b.Journey()
 	l.mac.SendBuf(to, b, func(ok bool) {
 		if to != radio.Broadcast {
 			l.neighbors.RecordTx(to, ok)
@@ -120,7 +123,7 @@ func (l *Link) SendBuf(to radio.NodeID, proto Protocol, b *netbuf.Buffer, done f
 			}
 			// F carries the post-update ETX estimate, making ETX evolution
 			// reconstructible from the trace alone.
-			l.rec.Emit(int32(l.id), typ, int64(to), int64(proto), l.neighbors.ETX(to))
+			l.rec.Emit(int32(l.id), typ, int64(to), int64(proto), l.neighbors.ETX(to), jid)
 		}
 		if done != nil {
 			done(ok)

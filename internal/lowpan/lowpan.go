@@ -45,6 +45,13 @@ type Datagram struct {
 	HopLimit uint8
 	Seq      uint16
 	Payload  []byte
+	// Journey is the flight-recorder journey ID of the logical packet
+	// (0 = none). It is in-memory metadata only: Encode stamps it onto
+	// the emitted frame buffers (netbuf.Buffer.SetJourney) but it never
+	// appears in the wire header, so tracing does not change airtime.
+	// On receive it is restored by the router from the MAC's journey
+	// context, not decoded from bytes.
+	Journey uint64
 }
 
 // Header sizes. The uncompressed form models a full IPv6 header (40
@@ -216,6 +223,7 @@ func (a *Adaptation) Encode(d *Datagram, frames []*netbuf.Buffer) ([]*netbuf.Buf
 		return frames, ErrTooLarge
 	}
 	whole := a.get()
+	whole.SetJourney(d.Journey)
 	encodeHeaderInto(whole.Extend(hlen), d, a.cfg.Compress)
 	whole.Append(d.Payload)
 	size := whole.Len()
@@ -232,6 +240,7 @@ func (a *Adaptation) Encode(d *Datagram, frames []*netbuf.Buffer) ([]*netbuf.Buf
 
 	first := (a.cfg.MTU - frag1HeaderLen) &^ 7
 	f := a.get()
+	f.SetJourney(d.Journey)
 	h := f.Extend(frag1HeaderLen)
 	h[0] = dispFrag1
 	binary.BigEndian.PutUint16(h[1:3], uint16(size))
@@ -247,6 +256,7 @@ func (a *Adaptation) Encode(d *Datagram, frames []*netbuf.Buffer) ([]*netbuf.Buf
 			end = size
 		}
 		f := a.get()
+		f.SetJourney(d.Journey)
 		h := f.Extend(fragNHeaderLen)
 		h[0] = dispFragN
 		binary.BigEndian.PutUint16(h[1:3], uint16(size))

@@ -201,14 +201,14 @@ func (c *CSMA) tryTransmit(backoffExp int) {
 			exp = c.cfg.MaxBackoffExp
 		}
 		slots := c.k.Rand().Int63n(1 << uint(exp))
-		c.m.Recorder().Emit(int32(c.id), trace.MACBackoff, slots+1, int64(exp), 0)
+		c.m.Recorder().Emit(int32(c.id), trace.MACBackoff, slots+1, int64(exp), 0, c.q.front().buf.Journey())
 		c.k.Schedule(time.Duration(slots+1)*c.cfg.BackoffSlot, func() {
 			c.tryTransmit(exp)
 		})
 		return
 	}
 	it := c.q.front()
-	c.m.Recorder().Emit(int32(c.id), trace.MACTx, int64(it.to), int64(c.attempt), 0)
+	c.m.Recorder().Emit(int32(c.id), trace.MACTx, int64(it.to), int64(c.attempt), 0, it.buf.Journey())
 	air := c.m.Send(radio.Frame{
 		From: c.id, To: it.to, Channel: c.cfg.Channel, Tenant: c.cfg.Tenant,
 		Size: it.buf.Len(), Payload: it.buf,
@@ -224,15 +224,19 @@ func (c *CSMA) tryTransmit(backoffExp int) {
 }
 
 func (c *CSMA) onAckTimeout() {
+	var jid uint64
+	if c.q.len() > 0 {
+		jid = c.q.front().buf.Journey()
+	}
 	c.attempt++
 	if c.attempt > c.cfg.MaxRetries {
 		c.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "csma")).Inc()
-		c.m.Recorder().Emit(int32(c.id), trace.MACTxFail, int64(c.awaitAckTo), int64(c.attempt), 0)
+		c.m.Recorder().Emit(int32(c.id), trace.MACTxFail, int64(c.awaitAckTo), int64(c.attempt), 0, jid)
 		c.finish(false)
 		return
 	}
 	c.m.Registry().CounterWith("mac.retries", metrics.L("mac", "csma")).Inc()
-	c.m.Recorder().Emit(int32(c.id), trace.MACRetry, int64(c.awaitAckTo), int64(c.attempt), 0)
+	c.m.Recorder().Emit(int32(c.id), trace.MACRetry, int64(c.awaitAckTo), int64(c.attempt), 0, jid)
 	c.initialBackoff()
 }
 
@@ -272,7 +276,12 @@ func (c *CSMA) RadioReceive(f radio.Frame) {
 			ack.Release()
 		}
 		if c.dedup.fresh(f.From, seq) && c.handler != nil {
+			// Upper layers run in the context of this packet's journey;
+			// anything they send synchronously continues it.
+			js := c.m.Buffers().Journeys()
+			prev := js.SetCurrent(f.Payload.Journey())
 			c.handler(f.From, payload)
+			js.SetCurrent(prev)
 		}
 	case KindAck:
 		if f.To == c.id && c.sending && seq == c.awaitAckSeq && f.From == c.awaitAckTo {

@@ -167,7 +167,7 @@ func (l *LPL) channelCheck() {
 	if l.stopped || l.strobing {
 		return
 	}
-	l.m.Recorder().Emit(int32(l.id), trace.MACWakeup, 0, 0, 0)
+	l.m.Recorder().Emit(int32(l.id), trace.MACWakeup, 0, 0, 0, 0)
 	l.setAwake(true)
 	l.scheduleSleep(l.cfg.CheckDuration)
 }
@@ -265,7 +265,7 @@ func (l *LPL) strobeOnce() {
 		Size: it.buf.Len(), Payload: it.buf,
 	})
 	l.m.Registry().CounterWith("mac.strobes", metrics.L("mac", "lpl")).Inc()
-	l.m.Recorder().Emit(int32(l.id), trace.MACStrobe, int64(it.to), 0, 0)
+	l.m.Recorder().Emit(int32(l.id), trace.MACStrobe, int64(it.to), 0, 0, it.buf.Journey())
 	l.k.Schedule(air+l.cfg.StrobeGap, l.strobeFn)
 }
 
@@ -274,13 +274,14 @@ func (l *LPL) endStrobe(ok bool) {
 	// Return to duty-cycled sleep shortly after finishing.
 	l.scheduleSleep(l.cfg.StrobeGap)
 	it := l.q.pop()
+	jid := it.buf.Journey()
 	it.buf.Release()
 	if it.done != nil {
 		it.done(ok)
 	}
 	if !ok {
 		l.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "lpl")).Inc()
-		l.m.Recorder().Emit(int32(l.id), trace.MACTxFail, int64(it.to), 0, 0)
+		l.m.Recorder().Emit(int32(l.id), trace.MACTxFail, int64(it.to), 0, 0, jid)
 	}
 	l.startNext()
 }
@@ -310,7 +311,12 @@ func (l *LPL) RadioReceive(f radio.Frame) {
 			ack.Release()
 		}
 		if l.dedup.fresh(f.From, seq) && l.handler != nil {
+			// Upper layers run in the context of this packet's journey;
+			// anything they send synchronously continues it.
+			js := l.m.Buffers().Journeys()
+			prev := js.SetCurrent(f.Payload.Journey())
 			l.handler(f.From, payload)
+			js.SetCurrent(prev)
 		}
 		// Stay up briefly in case more traffic follows (e.g., we are a
 		// forwarding hop), then sleep.

@@ -166,7 +166,7 @@ func (r *RIMAC) beacon() {
 	})
 	bcn.Release()
 	r.m.Registry().CounterWith("mac.beacons", metrics.L("mac", "rimac")).Inc()
-	r.m.Recorder().Emit(int32(r.id), trace.MACBeacon, 0, 0, 0)
+	r.m.Recorder().Emit(int32(r.id), trace.MACBeacon, 0, 0, 0, 0)
 	r.scheduleSleep(r.cfg.Dwell)
 }
 
@@ -252,11 +252,11 @@ func (r *RIMAC) waitExpired() {
 	r.attempt++
 	if r.attempt > r.cfg.MaxRetries {
 		r.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "rimac")).Inc()
-		r.m.Recorder().Emit(int32(r.id), trace.MACTxFail, int64(it.to), int64(r.attempt), 0)
+		r.m.Recorder().Emit(int32(r.id), trace.MACTxFail, int64(it.to), int64(r.attempt), 0, it.buf.Journey())
 		r.finish(false)
 		return
 	}
-	r.m.Recorder().Emit(int32(r.id), trace.MACRetry, int64(it.to), int64(r.attempt), 0)
+	r.m.Recorder().Emit(int32(r.id), trace.MACRetry, int64(it.to), int64(r.attempt), 0, it.buf.Journey())
 	// Keep waiting through another beacon period.
 	r.waitExpire = r.k.Schedule(r.cfg.BeaconInterval, func() { r.waitExpired() })
 }
@@ -342,7 +342,12 @@ func (r *RIMAC) RadioReceive(f radio.Frame) {
 			ack.Release()
 		}
 		if r.dedup.fresh(f.From, seq) && r.handler != nil {
+			// Upper layers run in the context of this packet's journey;
+			// anything they send synchronously continues it.
+			js := r.m.Buffers().Journeys()
+			prev := js.SetCurrent(f.Payload.Journey())
 			r.handler(f.From, payload)
+			js.SetCurrent(prev)
 		}
 		if !r.waiting {
 			r.setAwake(true)

@@ -234,7 +234,7 @@ func (t *TDMA) txSlot() {
 	t.gotAck = false
 	t.awaitAckSeq = t.seq
 	t.awaitAckTo = it.to
-	t.m.Recorder().Emit(int32(t.id), trace.MACTx, int64(it.to), int64(t.attempt), 0)
+	t.m.Recorder().Emit(int32(t.id), trace.MACTx, int64(it.to), int64(t.attempt), 0, it.buf.Journey())
 	// Listen after transmitting to catch the in-slot ACK.
 	t.m.SetListening(t.id, true)
 	air := t.m.Send(radio.Frame{
@@ -256,11 +256,11 @@ func (t *TDMA) endTxSlot() {
 		t.attempt++
 		if t.attempt <= t.cfg.MaxRetries {
 			t.m.Registry().CounterWith("mac.retries", metrics.L("mac", "tdma")).Inc()
-			t.m.Recorder().Emit(int32(t.id), trace.MACRetry, int64(it.to), int64(t.attempt), 0)
+			t.m.Recorder().Emit(int32(t.id), trace.MACRetry, int64(it.to), int64(t.attempt), 0, it.buf.Journey())
 			return // retry in next epoch's tx slot
 		}
 		t.m.Registry().CounterWith("mac.tx_failed", metrics.L("mac", "tdma")).Inc()
-		t.m.Recorder().Emit(int32(t.id), trace.MACTxFail, int64(it.to), int64(t.attempt), 0)
+		t.m.Recorder().Emit(int32(t.id), trace.MACTxFail, int64(it.to), int64(t.attempt), 0, it.buf.Journey())
 	}
 	fin := t.q.pop()
 	fin.buf.Release()
@@ -293,7 +293,12 @@ func (t *TDMA) RadioReceive(f radio.Frame) {
 			ack.Release()
 		}
 		if t.dedup.fresh(f.From, seq) && t.handler != nil {
+			// Upper layers run in the context of this packet's journey;
+			// anything they send synchronously continues it.
+			js := t.m.Buffers().Journeys()
+			prev := js.SetCurrent(f.Payload.Journey())
 			t.handler(f.From, payload)
+			js.SetCurrent(prev)
 		}
 	case KindAck:
 		if f.To == t.id && seq == t.awaitAckSeq && f.From == t.awaitAckTo {

@@ -1,0 +1,74 @@
+package netbuf
+
+import "testing"
+
+func TestJourneysCounterAndContext(t *testing.T) {
+	p := NewPool()
+	js := p.Journeys()
+	if js.Current() != 0 {
+		t.Fatalf("fresh pool current journey = %d, want 0", js.Current())
+	}
+	// IDs are a dense 1-based counter.
+	if a, b := js.New(), js.New(); a != 1 || b != 2 {
+		t.Fatalf("New() issued %d, %d, want 1, 2", a, b)
+	}
+	// SetCurrent returns the previous value so callers can bracket
+	// handler invocations and restore on the way out.
+	if prev := js.SetCurrent(7); prev != 0 {
+		t.Fatalf("SetCurrent prev = %d, want 0", prev)
+	}
+	if js.Current() != 7 {
+		t.Fatalf("current = %d, want 7", js.Current())
+	}
+	if prev := js.SetCurrent(0); prev != 7 {
+		t.Fatalf("restore prev = %d, want 7", prev)
+	}
+	// The counter is per-pool (= per-kernel), so independent trials
+	// never share an ID sequence.
+	if other := NewPool().Journeys().New(); other != 1 {
+		t.Fatalf("second pool's first ID = %d, want 1", other)
+	}
+}
+
+func TestBufferJourneyLifecycle(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	if b.Journey() != 0 {
+		t.Fatalf("fresh buffer journey = %d, want 0", b.Journey())
+	}
+	b.SetJourney(42)
+	b.Append([]byte("pkt"))
+
+	// Clone carries the journey: a retransmitted or fragmented copy is
+	// the same logical packet.
+	c := b.Clone()
+	if c.Journey() != 42 {
+		t.Errorf("clone journey = %d, want 42", c.Journey())
+	}
+	c.SetJourney(9)
+	if b.Journey() != 42 {
+		t.Errorf("clone SetJourney leaked to original: %d", b.Journey())
+	}
+	c.Release()
+	b.Release()
+
+	// Pool reuse must not leak the previous journey into a new packet.
+	n := p.Get()
+	if n.Journey() != 0 {
+		t.Errorf("reused buffer journey = %d, want 0 (stale ID leaked)", n.Journey())
+	}
+	n.Release()
+}
+
+func TestBufferJourneyAfterReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.SetJourney(5)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Journey() on released buffer did not panic")
+		}
+	}()
+	_ = b.Journey()
+}

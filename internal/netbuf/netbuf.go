@@ -58,13 +58,56 @@ type Stats struct {
 // Pool recycles Buffers LIFO. The zero value is NOT usable; call
 // NewPool. Not safe for concurrent use — one pool per kernel.
 type Pool struct {
-	free   []*Buffer
-	stats  Stats
-	poison bool
+	free     []*Buffer
+	stats    Stats
+	poison   bool
+	journeys Journeys
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{} }
+
+// Journeys returns the pool's journey-ID context. There is one pool per
+// simulation kernel (owned by its radio.Medium), so the counter is
+// kernel-scoped and its draws are deterministic.
+func (p *Pool) Journeys() *Journeys { return &p.journeys }
+
+// Journeys allocates deterministic packet journey IDs and tracks the
+// "current" journey — the ID of the packet whose receive processing is
+// on the stack right now. IDs are a plain counter (not random) so runs
+// are byte-identical under the determinism regime; 0 means "no journey".
+//
+// The receive path brackets handler invocations with SetCurrent, so any
+// traffic a layer sends synchronously while processing an inbound packet
+// (a forwarded datagram, a CoAP response) continues that packet's
+// journey instead of starting an unrelated one. Like the Pool itself,
+// Journeys is not safe for concurrent use.
+type Journeys struct {
+	next uint64
+	cur  uint64
+}
+
+// New allocates and returns a fresh journey ID (never 0).
+func (j *Journeys) New() uint64 {
+	j.next++
+	return j.next
+}
+
+// Current returns the journey ID in whose context the caller runs, or 0
+// if none.
+func (j *Journeys) Current() uint64 { return j.cur }
+
+// SetCurrent installs id as the current journey and returns the previous
+// value so callers can restore it:
+//
+//	prev := js.SetCurrent(b.Journey())
+//	handler(...)
+//	js.SetCurrent(prev)
+func (j *Journeys) SetCurrent(id uint64) (prev uint64) {
+	prev = j.cur
+	j.cur = id
+	return prev
+}
 
 // SetPoison toggles debug poisoning: when on, every buffer returned to
 // the pool is scribbled with 0xDB so use-after-release reads fail
@@ -89,6 +132,7 @@ func (p *Pool) Get() *Buffer {
 		p.free = p.free[:n-1]
 		b.refs = 1
 		b.off, b.end = DefaultHeadroom, DefaultHeadroom
+		b.journey = 0
 		return b
 	}
 	p.stats.Allocs++
@@ -114,6 +158,7 @@ type Buffer struct {
 	off, end int
 	refs     int
 	gen      uint64
+	journey  uint64
 	pool     *Pool // nil for unpooled buffers
 }
 
@@ -155,6 +200,16 @@ func (b *Buffer) Refs() int { return b.refs }
 // stale reference can detect that the struct now carries a different
 // packet.
 func (b *Buffer) Generation() uint64 { return b.gen }
+
+// Journey returns the ID of the logical packet this buffer carries, or
+// 0 if none was assigned. The ID is sideband metadata — it never goes
+// on the air — stamped by 6LoWPAN encoding and preserved across
+// Prepend/TrimFront/Clone/retransmit so flight-recorder events emitted
+// anywhere along the path correlate to one journey.
+func (b *Buffer) Journey() uint64 { b.check(); return b.journey }
+
+// SetJourney stamps the buffer with a journey ID (see Journey).
+func (b *Buffer) SetJourney(id uint64) { b.check(); b.journey = id }
 
 // Bytes returns the payload window. The slice is a view into the
 // buffer: it is invalidated by Prepend/TrimFront/grow and must not be
@@ -286,6 +341,7 @@ func (b *Buffer) Clone() *Buffer {
 		c = New()
 	}
 	c.Append(b.Bytes())
+	c.journey = b.journey
 	return c
 }
 

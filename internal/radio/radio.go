@@ -407,7 +407,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 	m.cTxFrames.Inc()
 	m.cTxBytes.Add(float64(f.Size))
 	m.energy.Ledger(int(f.From)).Spend(metrics.StateTx, air)
-	m.rec.Emit(int32(f.From), trace.RadioTx, int64(f.To), int64(f.Size), 0)
+	m.rec.Emit(int32(f.From), trace.RadioTx, int64(f.To), int64(f.Size), 0, payloadJourney(f.Payload))
 
 	tx := m.getTx()
 	tx.frame = f
@@ -427,7 +427,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 				if other.frame.Tenant != f.Tenant {
 					m.cCollXTen.Inc()
 				}
-				m.rec.Emit(int32(d.to), trace.RadioCollision, int64(other.frame.From), int64(f.From), 0)
+				m.rec.Emit(int32(d.to), trace.RadioCollision, int64(other.frame.From), int64(f.From), 0, payloadJourney(other.frame.Payload))
 			}
 		}
 	}
@@ -452,7 +452,7 @@ func (m *Medium) Send(f Frame) time.Duration {
 				if other.frame.Tenant != f.Tenant {
 					m.cCollXTen.Inc()
 				}
-				m.rec.Emit(int32(id), trace.RadioCollision, int64(other.frame.From), int64(f.From), 0)
+				m.rec.Emit(int32(id), trace.RadioCollision, int64(other.frame.From), int64(f.From), 0, payloadJourney(f.Payload))
 				break
 			}
 		}
@@ -460,13 +460,22 @@ func (m *Medium) Send(f Frame) time.Duration {
 		if !d.corrupted && m.k.Rand().Float64() >= m.PRR(f.From, id) {
 			d.corrupted = true
 			m.cDropLoss.Inc()
-			m.rec.Emit(int32(id), trace.RadioLoss, int64(f.From), int64(f.Size), 0)
+			m.rec.Emit(int32(id), trace.RadioLoss, int64(f.From), int64(f.Size), 0, payloadJourney(f.Payload))
 		}
 	}
 
 	m.active = append(m.active, tx)
 	m.k.Schedule(air, tx.completeFn)
 	return air
+}
+
+// payloadJourney reads the journey ID off a frame payload; control
+// frames built without a payload buffer have no journey.
+func payloadJourney(b *netbuf.Buffer) uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.Journey()
 }
 
 func (m *Medium) complete(tx *transmission) {
@@ -491,7 +500,7 @@ func (m *Medium) complete(tx *transmission) {
 			continue
 		}
 		m.cRxFrames.Inc()
-		m.rec.Emit(int32(d.to), trace.RadioDeliver, int64(f.From), int64(f.Size), 0)
+		m.rec.Emit(int32(d.to), trace.RadioDeliver, int64(f.From), int64(f.Size), 0, payloadJourney(f.Payload))
 		if f.Payload != nil {
 			// Copy-on-fanout: each receiver gets its own view, alive only
 			// for the callback. Receivers that retain must copy.

@@ -145,7 +145,7 @@ func (f *RNFD) check() {
 		if e := f.r.lnk.Neighbors().Lookup(f.r.root); e != nil &&
 			e.TxCount >= sentinelMinTx && e.ETX() < sentinelETXGate {
 			if !f.wasChild {
-				f.r.rec.Emit(int32(f.r.id), trace.RNFDSentinel, int64(e.TxCount), 0, e.ETX())
+				f.r.rec.Emit(int32(f.r.id), trace.RNFDSentinel, int64(e.TxCount), 0, e.ETX(), 0)
 			}
 			f.wasChild = true
 		}
@@ -160,7 +160,7 @@ func (f *RNFD) check() {
 		f.localSuspect = true
 		f.suspects[f.r.id] = f.r.k.Now()
 		f.r.reg.Counter("rnfd.suspects_raised").Inc()
-		f.r.rec.Emit(int32(f.r.id), trace.RNFDSuspect, int64(f.epoch), int64(f.r.k.Now()-f.lastRootHeard), 0)
+		f.r.rec.Emit(int32(f.r.id), trace.RNFDSuspect, int64(f.epoch), int64(f.r.k.Now()-f.lastRootHeard), 0, 0)
 		f.flood(suspect{Sentinel: f.r.id, Epoch: f.epoch}.encode())
 		f.evaluate()
 	}
@@ -179,7 +179,7 @@ func (f *RNFD) onMessage(from radio.NodeID, raw []byte) {
 		}
 		f.seen[key] = true
 		f.suspects[s.Sentinel] = f.r.k.Now()
-		f.r.rec.Emit(int32(f.r.id), trace.RNFDSuspectHeard, int64(s.Sentinel), int64(len(f.suspects)), 0)
+		f.r.rec.Emit(int32(f.r.id), trace.RNFDSuspectHeard, int64(s.Sentinel), int64(len(f.suspects)), 0, 0)
 		// Re-flood once so the suspicion spreads beyond radio range.
 		f.flood(raw)
 		f.evaluate()
@@ -223,7 +223,7 @@ func (f *RNFD) declareDead() {
 	f.verdictAt = f.r.k.Now()
 	f.r.rootDead = true
 	f.r.reg.Counter("rnfd.verdicts").Inc()
-	f.r.rec.Emit(int32(f.r.id), trace.RNFDVerdict, int64(f.r.root), int64(len(f.suspects)), 0)
+	f.r.rec.Emit(int32(f.r.id), trace.RNFDVerdict, int64(f.r.root), int64(len(f.suspects)), 0, 0)
 	if f.OnVerdict != nil {
 		f.OnVerdict()
 	}

@@ -308,14 +308,14 @@ func (r *Router) sendDIO() {
 	}
 	d := dio{Version: r.version, Rank: r.rank, Root: r.root}
 	r.reg.Counter("rpl.dio_sent").Inc()
-	r.rec.Emit(int32(r.id), trace.RPLDIOSent, int64(radio.Broadcast), int64(r.rank), 0)
+	r.rec.Emit(int32(r.id), trace.RPLDIOSent, int64(radio.Broadcast), int64(r.rank), 0, 0)
 	r.lnk.Broadcast(link.ProtoRouting, d.encode())
 }
 
 func (r *Router) sendDIOTo(to radio.NodeID) {
 	d := dio{Version: r.version, Rank: r.rank, Root: r.root}
 	r.reg.Counter("rpl.dio_sent").Inc()
-	r.rec.Emit(int32(r.id), trace.RPLDIOSent, int64(to), int64(r.rank), 0)
+	r.rec.Emit(int32(r.id), trace.RPLDIOSent, int64(to), int64(r.rank), 0, 0)
 	r.lnk.Send(to, link.ProtoRouting, d.encode(), nil)
 }
 
@@ -326,7 +326,7 @@ func (r *Router) sendDAO() {
 	r.daoSeq++
 	d := dao{Target: r.id, Seq: r.daoSeq}
 	r.reg.Counter("rpl.dao_sent").Inc()
-	r.rec.Emit(int32(r.id), trace.RPLDAOSent, int64(r.parent), int64(r.daoSeq), 0)
+	r.rec.Emit(int32(r.id), trace.RPLDAOSent, int64(r.parent), int64(r.daoSeq), 0, 0)
 	parent := r.parent
 	r.lnk.Send(parent, link.ProtoRouting, d.encode(), func(ok bool) {
 		r.noteParentTx(parent, ok)
@@ -423,7 +423,7 @@ func (r *Router) onDIO(from radio.NodeID, d dio) {
 	} else if d.Version < r.version {
 		return // stale neighbor; our trickle DIO will update it
 	}
-	r.rec.Emit(int32(r.id), trace.RPLDIORecv, int64(from), int64(d.Rank), 0)
+	r.rec.Emit(int32(r.id), trace.RPLDIORecv, int64(from), int64(d.Rank), 0, 0)
 	if r.rnfd != nil && from == r.root {
 		r.rnfd.rootHeard()
 	}
@@ -527,7 +527,7 @@ func (r *Router) detach() {
 	if r.parent == NoParent && r.rank == InfiniteRank {
 		return
 	}
-	r.rec.Emit(int32(r.id), trace.RPLDetach, 0, 0, 0)
+	r.rec.Emit(int32(r.id), trace.RPLDetach, 0, 0, 0, 0)
 	r.setParent(NoParent, InfiniteRank)
 	// Poison immediately so children stop routing through us.
 	r.sendDIO()
@@ -572,7 +572,7 @@ func (r *Router) setParent(p radio.NodeID, rank uint16) {
 	r.parentFails = 0
 	if changed {
 		r.reg.Counter("rpl.parent_switches").Inc()
-		r.rec.Emit(int32(r.id), trace.RPLParentSwitch, int64(old), int64(p), 0)
+		r.rec.Emit(int32(r.id), trace.RPLParentSwitch, int64(old), int64(p), 0, 0)
 		if p != NoParent {
 			if !r.joined {
 				r.joined = true
@@ -596,12 +596,21 @@ func (r *Router) setParent(p radio.NodeID, rank uint16) {
 // SendTo routes payload to dst under proto. Local destinations deliver
 // immediately. The error reflects only local route availability; delivery
 // is best-effort, as in any IP network.
+//
+// Journey assignment happens here: a datagram sent while an inbound
+// packet is being processed (a CoAP response, a forwarded reading)
+// continues that packet's journey; otherwise it starts a fresh one.
 func (r *Router) SendTo(dst radio.NodeID, proto lowpan.Proto, payload []byte) error {
 	r.netSeq++
+	js := r.lnk.Buffers().Journeys()
+	jid := js.Current()
+	if jid == 0 {
+		jid = js.New()
+	}
 	d := &lowpan.Datagram{
 		Src: r.id, Dst: dst, Proto: proto,
 		HopLimit: r.cfg.HopLimit, Seq: r.netSeq,
-		Payload: payload,
+		Payload: payload, Journey: jid,
 	}
 	return r.route(d)
 }
@@ -624,7 +633,7 @@ func (r *Router) route(d *lowpan.Datagram) error {
 	}
 	if next == NoParent {
 		r.reg.Counter("rpl.no_route_drops").Inc()
-		r.rec.Emit(int32(r.id), trace.RPLNoRoute, int64(d.Src), int64(d.Dst), 0)
+		r.rec.Emit(int32(r.id), trace.RPLNoRoute, int64(d.Src), int64(d.Dst), 0, d.Journey)
 		return fmt.Errorf("%w: %d -> %d", ErrNoRoute, r.id, d.Dst)
 	}
 	frames, err := r.adapt.Encode(d, r.fscratch[:0])
@@ -644,6 +653,7 @@ func (r *Router) route(d *lowpan.Datagram) error {
 		})
 	}
 	r.reg.Counter("rpl.datagrams_forwarded").Inc()
+	r.rec.Emit(int32(r.id), trace.RPLForward, int64(next), int64(d.Dst), 0, d.Journey)
 	return nil
 }
 
@@ -677,6 +687,10 @@ func (r *Router) onNet(from radio.NodeID, frame []byte) {
 	if d == nil {
 		return // awaiting more fragments
 	}
+	// The MAC installed the inbound frame's journey as current before
+	// invoking the receive chain; re-attach it to the reassembled
+	// datagram (the ID is sideband metadata, never in the wire header).
+	d.Journey = r.lnk.Buffers().Journeys().Current()
 	if d.Dst == r.id {
 		r.deliver(d)
 		return
@@ -691,7 +705,14 @@ func (r *Router) onNet(from radio.NodeID, frame []byte) {
 
 func (r *Router) deliver(d *lowpan.Datagram) {
 	r.reg.Counter("rpl.delivered").Inc()
+	r.rec.Emit(int32(r.id), trace.RPLDeliver, int64(d.Src), int64(d.Proto), 0, d.Journey)
 	if h, ok := r.handlers[d.Proto]; ok {
+		// The handler runs in this packet's journey context so that a
+		// locally delivered datagram (SendTo to self never touches the
+		// MAC) still propagates its journey into synchronous replies.
+		js := r.lnk.Buffers().Journeys()
+		prev := js.SetCurrent(d.Journey)
 		h(d.Src, d.Payload)
+		js.SetCurrent(prev)
 	}
 }

@@ -290,4 +290,37 @@ func (c *checker) checkCausal() {
 			}
 		}
 	})
+	c.checkJourneys(rec.Events())
+}
+
+// checkJourneys strengthens the causal scan from per-node to per-packet:
+// reconstructed journeys let the checker pin deliveries to the
+// transmission history of the *same* logical packet, and demand that
+// every delivered CoAP exchange reconstructs into a complete journey
+// (request and response under one ID). Only called with a complete
+// (un-wrapped) event history.
+func (c *checker) checkJourneys(events []trace.Event) {
+	if cov, tot := trace.CoAPCoverage(events); tot > 0 && cov < tot {
+		c.add(Violation{
+			Invariant: InvCausal, At: time.Duration(c.d.K.Now()), Node: -1,
+			Detail: fmt.Sprintf("journeys: only %d/%d delivered CoAP exchanges reconstruct completely", cov, tot),
+		})
+	}
+	for _, j := range trace.Journeys(events) {
+		txSeen := false
+		for _, e := range j.Events {
+			switch e.Type {
+			case trace.RadioTx:
+				txSeen = true
+			case trace.RadioDeliver:
+				if !txSeen {
+					c.add(Violation{
+						Invariant: InvCausal, At: e.At, Node: int(e.Node),
+						Detail: fmt.Sprintf("journey %d delivered before any of its frames was transmitted", j.ID),
+					})
+					return // one witness is enough
+				}
+			}
+		}
+	}
 }

@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"iiotds/internal/trace"
+)
+
+// roundTripJSONL exports the run's trace as JSONL and parses it back.
+func roundTripJSONL(t *testing.T, res Result) []trace.Event {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSONL(&buf, trace.All()); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// probeSpec is a quiet CoAP probe scenario on a 4x4 grid: multi-hop
+// round trips with no churn, so every exchange should complete and
+// every delivered exchange must reconstruct into a full journey.
+func probeSpec() Spec {
+	return Spec{
+		Seed:     42,
+		Topo:     TopoSpec{Kind: TopoGrid, N: 16},
+		WithCoAP: true,
+		Soak:     90 * time.Second,
+		Drain:    30 * time.Second,
+		Workload: WorkloadSpec{ProbeEvery: 5 * time.Second},
+	}
+}
+
+// TestJourneysEndToEnd drives a real deployment and pins the
+// acceptance bar of the journey plumbing: every delivered CoAP
+// exchange reconstructs into a complete journey (the CI gate demands
+// >=99%; a healthy stack gives 100%), journeys are multi-hop with
+// delivered outcomes, and the trace survives a JSONL round trip with
+// journeys intact.
+func TestJourneysEndToEnd(t *testing.T) {
+	res := Run(probeSpec(), nil)
+	if !res.Converged {
+		t.Fatal("fleet did not converge")
+	}
+	if res.ProbeOK == 0 {
+		t.Fatal("probe workload idle — nothing to reconstruct")
+	}
+	if res.Trace == nil || res.Trace.Dropped() > 0 {
+		t.Fatalf("trace missing or wrapped (dropped=%d)", res.Trace.Dropped())
+	}
+	events := res.Trace.Events()
+
+	cov, tot := trace.CoAPCoverage(events)
+	if tot < res.ProbeOK {
+		t.Errorf("trace has %d delivered exchanges, probes reported %d ok", tot, res.ProbeOK)
+	}
+	if cov != tot {
+		t.Errorf("journey coverage %d/%d, want complete", cov, tot)
+	}
+
+	journeys := trace.Journeys(events)
+	if len(journeys) == 0 {
+		t.Fatal("no journeys reconstructed")
+	}
+	delivered, multiHop := 0, 0
+	for _, j := range journeys {
+		if j.Outcome == trace.OutcomeDelivered {
+			delivered++
+		}
+		if len(j.Hops) > 2 {
+			multiHop++
+		}
+		// Per-journey sanity: events in time order, layer breakdown
+		// accounts for the whole span.
+		var sum time.Duration
+		for i, e := range j.Events {
+			if i > 0 && e.At < j.Events[i-1].At {
+				t.Fatalf("journey %d events out of order", j.ID)
+			}
+		}
+		for _, d := range j.LayerNanos {
+			sum += d
+		}
+		if sum != j.Duration() {
+			t.Errorf("journey %d layer breakdown %v != duration %v", j.ID, sum, j.Duration())
+		}
+	}
+	if delivered == 0 {
+		t.Error("no delivered journeys")
+	}
+	if multiHop == 0 {
+		t.Error("no multi-hop journeys on a 4x4 grid — hop reconstruction broken")
+	}
+
+	// The journey IDs must survive a JSONL round trip bit-exactly.
+	events2 := roundTripJSONL(t, res)
+	again := trace.Journeys(events2)
+	if len(again) != len(journeys) {
+		t.Errorf("JSONL round trip changed journey count: %d != %d", len(again), len(journeys))
+	}
+}
+
+// TestJourneysDeterministic pins that journey IDs — kernel-scoped
+// counters — make reconstruction reproducible: two identical runs
+// yield identical journey censuses.
+func TestJourneysDeterministic(t *testing.T) {
+	a, b := Run(probeSpec(), nil), Run(probeSpec(), nil)
+	ja, jb := trace.Journeys(a.Trace.Events()), trace.Journeys(b.Trace.Events())
+	if len(ja) != len(jb) {
+		t.Fatalf("journey counts diverged: %d vs %d", len(ja), len(jb))
+	}
+	for i := range ja {
+		x, y := ja[i], jb[i]
+		if x.ID != y.ID || x.Outcome != y.Outcome || len(x.Events) != len(y.Events) ||
+			len(x.Hops) != len(y.Hops) || x.Duration() != y.Duration() {
+			t.Errorf("journey %d diverged between identical runs:\n %+v\n %+v", x.ID, x, y)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"iiotds/internal/radio"
 	"iiotds/internal/security"
 	"iiotds/internal/sim"
+	"iiotds/internal/trace"
 	"iiotds/internal/trial"
 )
 
@@ -36,6 +37,10 @@ type Result struct {
 	// Violations are the invariant breaches observed; empty means the
 	// run passed.
 	Violations []Violation
+	// Trace is the run's flight recorder (scenarios always trace; see
+	// scenarioTraceCapacity). Callers can export it with WriteJSONL or
+	// reconstruct packet journeys from it with trace.Journeys.
+	Trace *trace.Recorder
 }
 
 // Failed reports whether the run breached any invariant.
@@ -67,7 +72,7 @@ func Run(spec Spec, tr *trial.Trial) Result {
 	tr.Observe(d.K)
 	tr.ObserveTrace(d.Trace)
 
-	res := Result{}
+	res := Result{Trace: d.Trace}
 	if spec.Encodable() {
 		res.Repro = Format(spec)
 	}

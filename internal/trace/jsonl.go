@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // WriteJSONL writes every retained event matching f to w, one JSON
@@ -11,7 +13,7 @@ import (
 // reflection) with a fixed key order, so the output is byte-identical
 // for identical event streams:
 //
-//	{"at_ns":1500000000,"node":3,"layer":"rpl","type":"dio_sent","a":-1,"b":256,"f":0}
+//	{"at_ns":1500000000,"node":3,"layer":"rpl","type":"dio_sent","a":-1,"b":256,"f":0,"j":0}
 func (r *Recorder) WriteJSONL(w io.Writer, f Filter) error {
 	if r == nil {
 		return nil
@@ -48,6 +50,119 @@ func appendEventJSON(b []byte, e Event) []byte {
 	b = strconv.AppendInt(b, e.B, 10)
 	b = append(b, `,"f":`...)
 	b = strconv.AppendFloat(b, e.F, 'g', -1, 64)
+	b = append(b, `,"j":`...)
+	b = strconv.AppendUint(b, e.J, 10)
 	b = append(b, '}', '\n')
 	return b
+}
+
+// typeByWire maps (layer name, type name) back to the Type, for parsing
+// JSONL dumps. Built lazily; names are unique within a layer.
+var typeByWire map[[2]string]Type
+
+func wireType(layer, name string) (Type, bool) {
+	if typeByWire == nil {
+		typeByWire = make(map[[2]string]Type, int(numTypes))
+		for t := Type(0); t < numTypes; t++ {
+			typeByWire[[2]string{t.Layer().String(), t.String()}] = t
+		}
+	}
+	t, ok := typeByWire[[2]string{layer, name}]
+	return t, ok
+}
+
+// ReadJSONL parses an event stream previously written by WriteJSONL.
+// It accepts exactly the hand-formatted key order WriteJSONL produces
+// (this is a tool-side parser for our own dumps, not a general JSON
+// reader); lines missing the "j" key — dumps from before journey IDs —
+// parse with J=0. Unknown layer/type names are an error, so a dump from
+// a newer binary fails loudly instead of silently dropping events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		e, err := parseEventJSON(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseEventJSON parses one WriteJSONL line.
+func parseEventJSON(line string) (Event, error) {
+	var e Event
+	rest, ok := strings.CutPrefix(line, `{"at_ns":`)
+	if !ok {
+		return e, fmt.Errorf("malformed event line %q", line)
+	}
+	atNS, rest, err := cutInt(rest, `,"node":`)
+	if err != nil {
+		return e, err
+	}
+	node, rest, err := cutInt(rest, `,"layer":"`)
+	if err != nil {
+		return e, err
+	}
+	layer, rest, ok := strings.Cut(rest, `","type":"`)
+	if !ok {
+		return e, fmt.Errorf("missing type in %q", line)
+	}
+	typ, rest, ok := strings.Cut(rest, `","a":`)
+	if !ok {
+		return e, fmt.Errorf("missing a field in %q", line)
+	}
+	a, rest, err := cutInt(rest, `,"b":`)
+	if err != nil {
+		return e, err
+	}
+	b, rest, err := cutInt(rest, `,"f":`)
+	if err != nil {
+		return e, err
+	}
+	var j uint64
+	fStr, jStr, hasJ := strings.Cut(rest, `,"j":`)
+	if hasJ {
+		jStr = strings.TrimSuffix(jStr, "}")
+		if j, err = strconv.ParseUint(jStr, 10, 64); err != nil {
+			return e, fmt.Errorf("bad j %q: %v", jStr, err)
+		}
+	} else {
+		fStr = strings.TrimSuffix(fStr, "}")
+	}
+	f, err := strconv.ParseFloat(fStr, 64)
+	if err != nil {
+		return e, fmt.Errorf("bad f %q: %v", fStr, err)
+	}
+	t, ok := wireType(layer, typ)
+	if !ok {
+		return e, fmt.Errorf("unknown event %s/%s", layer, typ)
+	}
+	e = Event{At: Time(atNS), Node: int32(node), Type: t, A: a, B: b, F: f, J: j}
+	return e, nil
+}
+
+// cutInt parses a decimal integer prefix of s up to sep and returns the
+// value and the remainder after sep.
+func cutInt(s, sep string) (int64, string, error) {
+	numStr, rest, ok := strings.Cut(s, sep)
+	if !ok {
+		return 0, "", fmt.Errorf("missing %q separator", sep)
+	}
+	v, err := strconv.ParseInt(numStr, 10, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad integer %q: %v", numStr, err)
+	}
+	return v, rest, nil
 }

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReadJSONLRoundTrip pins that ReadJSONL inverts WriteJSONL: the
+// parsed events equal the recorder's retained events, journey IDs
+// included.
+func TestReadJSONLRoundTrip(t *testing.T) {
+	var now time.Duration
+	r := New(16, fixedClock(&now))
+	now = 1500 * time.Millisecond
+	r.Emit(3, RPLDIOSent, -1, 256, 0, 0)
+	now = 2 * time.Second
+	r.Emit(4, LinkAck, 3, 0, 1.25, 7)
+	now = 3 * time.Second
+	r.Emit(-1, FaultPartition, 2, 0, 0, 0)
+	r.Emit(5, RPLForward, 1, 0, 0, 18446744073709551615) // max uint64 survives
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, All()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := r.Events(); !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReadJSONLLegacyNoJourney pins that dumps written before journey
+// IDs (no "j" key) still parse, with J=0.
+func TestReadJSONLLegacyNoJourney(t *testing.T) {
+	legacy := `{"at_ns":1500000000,"node":3,"layer":"rpl","type":"dio_sent","a":-1,"b":256,"f":0}` + "\n" +
+		`{"at_ns":2000000000,"node":4,"layer":"link","type":"ack","a":3,"b":0,"f":1.25}` + "\n"
+	evs, err := ReadJSONL(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("parsed %d events, want 2", len(evs))
+	}
+	if evs[0].Type != RPLDIOSent || evs[0].J != 0 || evs[1].Type != LinkAck || evs[1].F != 1.25 {
+		t.Errorf("legacy parse = %+v", evs)
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"garbage", "not json"},
+		{"unknown type", `{"at_ns":1,"node":3,"layer":"rpl","type":"warp_drive","a":0,"b":0,"f":0,"j":0}`},
+		{"unknown layer", `{"at_ns":1,"node":3,"layer":"quantum","type":"tx","a":0,"b":0,"f":0,"j":0}`},
+		{"bad int", `{"at_ns":xx,"node":3,"layer":"rpl","type":"dio_sent","a":0,"b":0,"f":0,"j":0}`},
+		{"bad journey", `{"at_ns":1,"node":3,"layer":"rpl","type":"dio_sent","a":0,"b":0,"f":0,"j":-4}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadJSONL(strings.NewReader(c.line + "\n")); err == nil {
+			t.Errorf("%s: ReadJSONL accepted %q", c.name, c.line)
+		}
+	}
+	// Blank lines are tolerated (trailing newline, hand-edited dumps).
+	evs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Errorf("blank-line input: evs=%v err=%v", evs, err)
+	}
+}

@@ -65,7 +65,8 @@ func (l Layer) String() string {
 }
 
 // ParseLayer maps a lowercase layer name ("radio", "mac", "link",
-// "rpl", "coap", "bus") back to its Layer, for command-line filters.
+// "rpl", "coap", "bus", "fault") back to its Layer, for command-line
+// filters.
 func ParseLayer(name string) (Layer, bool) {
 	for i, n := range layerNames {
 		if n == name {
@@ -139,6 +140,13 @@ const (
 	// RPLNoRoute: a datagram was dropped for lack of a route.
 	// A = destination.
 	RPLNoRoute
+	// RPLForward: a datagram was handed to the link layer toward its
+	// next hop (both origination and multi-hop forwarding). A = next
+	// hop, B = final destination.
+	RPLForward
+	// RPLDeliver: a datagram reached its destination and was handed up
+	// to the protocol handler. A = source, B = protocol number.
+	RPLDeliver
 
 	// RNFDSentinel: the node qualified as an RNFD sentinel (good link to
 	// the root with proven history).
@@ -215,6 +223,8 @@ var typeInfo = [numTypes]struct {
 	RPLParentSwitch:  {LayerRPL, "parent_switch"},
 	RPLDetach:        {LayerRPL, "detach"},
 	RPLNoRoute:       {LayerRPL, "no_route"},
+	RPLForward:       {LayerRPL, "forward"},
+	RPLDeliver:       {LayerRPL, "deliver"},
 	RNFDSentinel:     {LayerRPL, "rnfd_sentinel"},
 	RNFDSuspect:      {LayerRPL, "rnfd_suspect"},
 	RNFDSuspectHeard: {LayerRPL, "rnfd_suspect_heard"},
@@ -266,6 +276,11 @@ type Event struct {
 	A, B int64
 	// F is a typed float field (e.g. an ETX estimate).
 	F float64
+	// J is the journey ID of the logical packet the event concerns, or
+	// 0 for events not tied to a packet (control beacons, bus traffic,
+	// injected faults). IDs are kernel-scoped counters carried on
+	// netbuf.Buffer; see that package's Journeys.
+	J uint64
 }
 
 // Recorder is the per-kernel flight recorder. A nil Recorder is valid
@@ -296,12 +311,13 @@ func New(capacity int, now func() Time) *Recorder {
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // Emit records one event. On a nil (disabled) recorder it is a no-op
-// that performs no allocation and no work beyond the nil check.
-func (r *Recorder) Emit(node int32, typ Type, a, b int64, f float64) {
+// that performs no allocation and no work beyond the nil check. j is
+// the journey ID of the packet the event concerns (0 if none).
+func (r *Recorder) Emit(node int32, typ Type, a, b int64, f float64, j uint64) {
 	if r == nil {
 		return
 	}
-	r.buf[r.next] = Event{At: r.now(), Node: node, Type: typ, A: a, B: b, F: f}
+	r.buf[r.next] = Event{At: r.now(), Node: node, Type: typ, A: a, B: b, F: f, J: j}
 	r.next++
 	if r.next == len(r.buf) {
 		r.next = 0
@@ -369,14 +385,16 @@ func (r *Recorder) Reset() {
 
 // Filter selects events for query and export. The zero Filter (also
 // available as All()) matches everything; restrict it with the ByNode /
-// ByLayer / ByType combinators.
+// ByLayer / ByLayers / ByType combinators. Each combinator *replaces*
+// any prior restriction on its dimension, so ByLayer(LayerAny) or
+// ByType(TypeAny) on an already-restricted filter lifts the restriction
+// cleanly (no stale state survives).
 type Filter struct {
-	node     int32
-	hasNode  bool
-	layer    Layer
-	layerSet bool
-	typ      Type
-	typeSet  bool
+	node      int32
+	hasNode   bool
+	layerMask uint16 // one bit per Layer; 0 = no layer restriction
+	typ       Type
+	typeSet   bool
 }
 
 // All returns the filter that matches every event.
@@ -389,17 +407,35 @@ func (f Filter) ByNode(node int32) Filter {
 	return f
 }
 
-// ByLayer returns a copy of f restricted to layer (LayerAny lifts the
-// restriction).
+// ByLayer returns a copy of f restricted to one layer (LayerAny lifts
+// any existing layer restriction).
 func (f Filter) ByLayer(l Layer) Filter {
-	f.layer, f.layerSet = l, l != LayerAny
+	return f.ByLayers(l)
+}
+
+// ByLayers returns a copy of f restricted to the union of the given
+// layers, replacing any prior layer restriction. Passing no layers, or
+// LayerAny anywhere in the list, lifts the restriction.
+func (f Filter) ByLayers(layers ...Layer) Filter {
+	f.layerMask = 0
+	for _, l := range layers {
+		if l >= numLayers {
+			f.layerMask = 0
+			return f
+		}
+		f.layerMask |= 1 << l
+	}
 	return f
 }
 
 // ByType returns a copy of f restricted to one event type (TypeAny lifts
 // the restriction).
 func (f Filter) ByType(t Type) Filter {
-	f.typ, f.typeSet = t, t != TypeAny
+	if t == TypeAny {
+		f.typ, f.typeSet = 0, false
+		return f
+	}
+	f.typ, f.typeSet = t, true
 	return f
 }
 
@@ -408,8 +444,11 @@ func (f Filter) match(e Event) bool {
 	if f.hasNode && e.Node != f.node {
 		return false
 	}
-	if f.layerSet && e.Type.Layer() != f.layer {
-		return false
+	if f.layerMask != 0 {
+		l := e.Type.Layer()
+		if l >= numLayers || f.layerMask&(1<<l) == 0 {
+			return false
+		}
 	}
 	if f.typeSet && e.Type != f.typ {
 		return false

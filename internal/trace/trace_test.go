@@ -15,7 +15,7 @@ func TestEmitAndOrder(t *testing.T) {
 	r := New(8, fixedClock(&now))
 	for i := 0; i < 5; i++ {
 		now = time.Duration(i) * time.Second
-		r.Emit(int32(i), RPLDIOSent, -1, 256, 0)
+		r.Emit(int32(i), RPLDIOSent, -1, 256, 0, 0)
 	}
 	evs := r.Events()
 	if len(evs) != 5 {
@@ -36,7 +36,7 @@ func TestRingWrapKeepsNewestAndExactCounts(t *testing.T) {
 	r := New(4, fixedClock(&now))
 	for i := 0; i < 10; i++ {
 		now = time.Duration(i)
-		r.Emit(int32(i), MACTx, 0, 0, 0)
+		r.Emit(int32(i), MACTx, 0, 0, 0, 0)
 	}
 	evs := r.Events()
 	if len(evs) != 4 {
@@ -58,10 +58,10 @@ func TestRingWrapKeepsNewestAndExactCounts(t *testing.T) {
 func TestFilter(t *testing.T) {
 	var now time.Duration
 	r := New(16, fixedClock(&now))
-	r.Emit(1, RPLDIOSent, -1, 0, 0)
-	r.Emit(2, RPLDIORecv, 1, 0, 0)
-	r.Emit(1, MACTx, 2, 0, 0)
-	r.Emit(-1, BusPublish, 1, 0, 0)
+	r.Emit(1, RPLDIOSent, -1, 0, 0, 0)
+	r.Emit(2, RPLDIORecv, 1, 0, 0, 0)
+	r.Emit(1, MACTx, 2, 0, 0, 0)
+	r.Emit(-1, BusPublish, 1, 0, 0, 0)
 
 	count := func(f Filter) int {
 		n := 0
@@ -93,9 +93,9 @@ func TestJSONLDeterministicAndFiltered(t *testing.T) {
 		var now time.Duration
 		r := New(16, fixedClock(&now))
 		now = 1500 * time.Millisecond
-		r.Emit(3, RPLDIOSent, -1, 256, 0)
+		r.Emit(3, RPLDIOSent, -1, 256, 0, 0)
 		now = 2 * time.Second
-		r.Emit(4, LinkAck, 3, 0, 1.25)
+		r.Emit(4, LinkAck, 3, 0, 1.25, 7)
 		return r
 	}
 	var a, b bytes.Buffer
@@ -108,8 +108,8 @@ func TestJSONLDeterministicAndFiltered(t *testing.T) {
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Errorf("two identical recorders exported different JSONL:\n%s\n---\n%s", a.String(), b.String())
 	}
-	want := `{"at_ns":1500000000,"node":3,"layer":"rpl","type":"dio_sent","a":-1,"b":256,"f":0}` + "\n" +
-		`{"at_ns":2000000000,"node":4,"layer":"link","type":"ack","a":3,"b":0,"f":1.25}` + "\n"
+	want := `{"at_ns":1500000000,"node":3,"layer":"rpl","type":"dio_sent","a":-1,"b":256,"f":0,"j":0}` + "\n" +
+		`{"at_ns":2000000000,"node":4,"layer":"link","type":"ack","a":3,"b":0,"f":1.25,"j":7}` + "\n"
 	if a.String() != want {
 		t.Errorf("JSONL =\n%s\nwant\n%s", a.String(), want)
 	}
@@ -125,13 +125,13 @@ func TestJSONLDeterministicAndFiltered(t *testing.T) {
 func TestSummaryMerge(t *testing.T) {
 	var now time.Duration
 	a := New(4, fixedClock(&now))
-	a.Emit(1, MACTx, 0, 0, 0)
-	a.Emit(1, MACTx, 0, 0, 0)
-	a.Emit(1, RPLDIOSent, 0, 0, 0)
+	a.Emit(1, MACTx, 0, 0, 0, 0)
+	a.Emit(1, MACTx, 0, 0, 0, 0)
+	a.Emit(1, RPLDIOSent, 0, 0, 0, 0)
 	b := New(2, fixedClock(&now))
-	b.Emit(2, MACTx, 0, 0, 0)
-	b.Emit(2, BusDeliver, 0, 0, 0)
-	b.Emit(2, BusDeliver, 0, 0, 0) // wraps: 1 dropped
+	b.Emit(2, MACTx, 0, 0, 0, 0)
+	b.Emit(2, BusDeliver, 0, 0, 0, 0)
+	b.Emit(2, BusDeliver, 0, 0, 0, 0) // wraps: 1 dropped
 
 	s := a.Summary()
 	s.Add(b.Summary())
@@ -159,7 +159,7 @@ func TestSummaryMerge(t *testing.T) {
 func TestSummaryStringAndJSON(t *testing.T) {
 	var now time.Duration
 	r := New(4, fixedClock(&now))
-	r.Emit(1, RNFDVerdict, 0, 2, 0)
+	r.Emit(1, RNFDVerdict, 0, 2, 0, 0)
 	s := r.Summary()
 	str := s.String()
 	if !strings.Contains(str, "rnfd_verdict") || !strings.Contains(str, "rpl") {
@@ -176,7 +176,7 @@ func TestSummaryStringAndJSON(t *testing.T) {
 
 func TestNilRecorderIsInert(t *testing.T) {
 	var r *Recorder
-	r.Emit(1, MACTx, 0, 0, 0) // must not panic
+	r.Emit(1, MACTx, 0, 0, 0, 0) // must not panic
 	if r.Enabled() || r.Total() != 0 || r.Cap() != 0 || r.Dropped() != 0 {
 		t.Error("nil recorder not inert")
 	}
@@ -209,14 +209,14 @@ func TestTypeTableComplete(t *testing.T) {
 func TestEmitAllocs(t *testing.T) {
 	var nilRec *Recorder
 	if n := testing.AllocsPerRun(1000, func() {
-		nilRec.Emit(3, MACTx, 7, 9, 1.5)
+		nilRec.Emit(3, MACTx, 7, 9, 1.5, 0)
 	}); n != 0 {
 		t.Errorf("disabled Emit allocates %.1f per op, want 0", n)
 	}
 	var now time.Duration
 	r := New(1024, fixedClock(&now))
 	if n := testing.AllocsPerRun(1000, func() {
-		r.Emit(3, MACTx, 7, 9, 1.5)
+		r.Emit(3, MACTx, 7, 9, 1.5, 0)
 	}); n != 0 {
 		t.Errorf("enabled Emit allocates %.1f per op, want 0", n)
 	}
@@ -226,7 +226,7 @@ func BenchmarkEmitDisabled(b *testing.B) {
 	var r *Recorder
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r.Emit(3, MACTx, 7, 9, 1.5)
+		r.Emit(3, MACTx, 7, 9, 1.5, 0)
 	}
 }
 
@@ -235,6 +235,6 @@ func BenchmarkEmitEnabled(b *testing.B) {
 	r := New(4096, fixedClock(&now))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r.Emit(3, MACTx, 7, 9, 1.5)
+		r.Emit(3, MACTx, 7, 9, 1.5, 0)
 	}
 }
