@@ -49,6 +49,7 @@ func BenchmarkE10SelfHealing(b *testing.B)     { benchExperiment(b, "E10") }
 func BenchmarkE11Security(b *testing.B)        { benchExperiment(b, "E11") }
 func BenchmarkE13MixedFleet(b *testing.B)      { benchExperiment(b, "E13") }
 func BenchmarkE14ChurnSoak(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15CityScale(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkF1ThreeTier(b *testing.B)        { benchExperiment(b, "F1") }
 
 // --- micro-benchmarks of the per-message hot paths ---

@@ -53,6 +53,8 @@ func run() int {
 	markdown := flag.Bool("markdown", false, "emit markdown (EXPERIMENTS.md body) instead of tables")
 	jsonOut := flag.Bool("json", false, "emit a JSON report (tables + kernel stats + wall times)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "trial worker goroutines per experiment (<=1 = sequential)")
+	shards := flag.Int("shards", 0, "worker threads the sharded experiments (E15) fan one deployment's stripes across (<=0 = one per stripe); tables are byte-identical at every setting")
+	spatial := flag.Bool("spatial", true, "use the cell-grid spatial index for radio fan-out; false selects the brute-force O(N) baseline (identical tables, different wall time)")
 	events := flag.String("events", "", "enable the flight recorder and write every trial's events (JSONL) to this file")
 	eventsCap := flag.Int("events-capacity", 1<<16, "flight-recorder ring capacity per trial (giving it explicitly turns recording on even without -events)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -71,6 +73,8 @@ func run() int {
 	}
 
 	exp.SetParallelism(*parallel)
+	exp.SetShardWorkers(*shards)
+	exp.SetSpatialIndex(*spatial)
 
 	var runners []exp.Runner
 	if *only == "" {

@@ -49,6 +49,7 @@ func main() {
 	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to a comma-separated set of layers: radio, mac, link, rpl, coap, bus, fault")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end")
 	scenarioSpec := flag.String("scenario", "", "replay a scenario reproducer string (scn1;...) instead of building from flags; exits 1 if an invariant is violated")
+	shards := flag.Int("shards", 1, "stripe the deployment over this many simulation kernels (DESIGN.md §9) and run them in parallel; the stripe count is a model parameter, so results are pinned per value")
 	flag.Parse()
 
 	// The export filter is shared by the flag-built and -scenario paths.
@@ -119,6 +120,15 @@ func main() {
 		stack.Topology = append(stack.Topology, core.NodeSpec{
 			Pos: pos, Profile: classes[i%len(classes)],
 		})
+	}
+
+	if *shards > 1 {
+		if *traceOut != "" || *query {
+			fmt.Fprintln(os.Stderr, "iiotsim: -shards does not support -trace-out or -query (run with -query=false)")
+			os.Exit(2)
+		}
+		runSharded(stack, *shards, *nodes, *kills, *duration)
+		return
 	}
 
 	if *traceOut != "" {
@@ -223,6 +233,73 @@ func main() {
 		}
 		fmt.Printf("metrics: Prometheus-text snapshot in %s\n", *metricsOut)
 	}
+}
+
+// runSharded runs the flag-built deployment on the sharded multi-kernel
+// engine: the plane is cut into vertical slabs, each slab simulated by
+// its own kernel, synchronized at lookahead barriers (DESIGN.md §9).
+// Faults are injected through the group's control timeline, so -kill
+// works across stripe boundaries.
+func runSharded(stack core.Stack, stripes, nodes int, kills string, duration time.Duration) {
+	sd := core.NewShardedStack(stack, stripes)
+	fmt.Printf("engine: %s\n", sd)
+
+	ok, took := sd.RunUntilConverged(5 * time.Minute)
+	if !ok {
+		fmt.Printf("WARNING: DODAG did not fully converge within 5 virtual minutes (%.1f%% joined)\n",
+			100*sd.ConvergedFraction())
+	} else {
+		fmt.Printf("DODAG converged in %v (virtual)\n", took)
+	}
+
+	if kills != "" {
+		inj := fault.NewInjector(sd.G, sd, sd, fault.NewLedger(sd.G.Now()))
+		for _, spec := range strings.Split(kills, ",") {
+			id, at, err := parseKill(spec, nodes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+				os.Exit(2)
+			}
+			inj.CrashAt(sd.G.Now()+at, id)
+			fmt.Printf("fault: node %d crashes at +%v\n", id, at)
+		}
+	}
+
+	sd.G.RunFor(duration)
+
+	fmt.Println("\n--- summary ---")
+	joined := 0
+	for _, n := range sd.Nodes {
+		if n.Up() && !n.Router.Partitioned() {
+			joined++
+		}
+	}
+	fmt.Printf("nodes joined at end: %d/%d\n", joined, nodes)
+	var tx, rx, coll float64
+	for _, sh := range sd.Shards {
+		tx += sh.Reg.Counter("radio.tx_frames").Value()
+		rx += sh.Reg.Counter("radio.rx_frames").Value()
+		coll += sh.Reg.Counter("radio.collisions").Value()
+	}
+	fmt.Printf("radio (all stripes): tx=%0.f frames, rx=%0.f frames, collisions=%0.f\n", tx, rx, coll)
+	fmt.Printf("sync: %d windows, %d cross-stripe handoffs\n", sd.G.Windows(), sd.G.Handoffs())
+}
+
+// parseKill parses one node@time fault spec.
+func parseKill(spec string, nodes int) (radio.NodeID, sim.Time, error) {
+	parts := strings.SplitN(strings.TrimSpace(spec), "@", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad kill spec %q (want node@time)", spec)
+	}
+	id, err := strconv.Atoi(parts[0])
+	if err != nil || id <= 0 || id >= nodes {
+		return 0, 0, fmt.Errorf("bad node in %q", spec)
+	}
+	at, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad time in %q", spec)
+	}
+	return radio.NodeID(id), at, nil
 }
 
 // runScenario replays one scenario reproducer string — the format the

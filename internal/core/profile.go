@@ -234,15 +234,83 @@ func applyRouterDefaults(c *rpl.Config, field string) {
 	}
 }
 
-// profileOf returns the named profile from d's stored stack; the name is
-// known valid after applyDefaults.
-func (d *Deployment) profileOf(name string) *Profile {
-	for i := range d.stack.Profiles {
-		if d.stack.Profiles[i].Name == name {
-			return &d.stack.Profiles[i]
+// profileIn returns the named profile from a stack description; the
+// name is known valid after applyDefaults.
+func profileIn(s *Stack, name string) *Profile {
+	for i := range s.Profiles {
+		if s.Profiles[i].Name == name {
+			return &s.Profiles[i]
 		}
 	}
 	panic(fmt.Sprintf("core: unknown profile %q", name))
+}
+
+// profileOf returns the named profile from d's stored stack.
+func (d *Deployment) profileOf(name string) *Profile {
+	return profileIn(&d.stack, name)
+}
+
+// nodeEnv is the substrate one node's stack is composed on. For a flat
+// deployment every node shares one env; in a sharded deployment each
+// stripe has its own kernel, medium, and registry (sharded.go).
+type nodeEnv struct {
+	k      *sim.Kernel
+	m      *radio.Medium
+	reg    *metrics.Registry
+	trace  *trace.Recorder // nil when tracing is disabled
+	seed   int64           // deployment seed; per-node CoAP seeds derive from it
+	router rpl.Config      // deployment-wide default, overridable per profile
+	f      Factories       // already withDefaults()
+}
+
+// buildNode composes and starts node i of profile p at pos on env's
+// substrate: radio attach, MAC, link, RPL, aggregation, optional CoAP
+// endpoint and RNFD sentinel. It is the single construction path for
+// flat and sharded deployments.
+func buildNode(env nodeEnv, i int, pos radio.Position, p *Profile) *Node {
+	id := radio.NodeID(i)
+	n := &Node{ID: id, up: true, profile: p}
+	env.m.Attach(id, pos, radio.ReceiverFunc(func(fr radio.Frame) {
+		n.MAC.(radio.Receiver).RadioReceive(fr)
+	}))
+	n.MAC = env.f.MAC(env.m, id, p)
+	n.Link = env.f.Link(id, n.MAC)
+	n.Link.SetRecorder(env.trace)
+	rcfg := env.router
+	if p.Router != nil {
+		rcfg = *p.Router
+	}
+	n.Router = env.f.Router(env.k, n.Link, i == 0, 0, rcfg, env.reg)
+	n.Router.SetRecorder(env.trace)
+	n.Agg = agg.NewNode(env.k, n.Router, n.Link, func(attr string) (float64, bool) {
+		if n.sampler == nil {
+			return 0, false
+		}
+		return n.sampler(attr)
+	})
+	n.sampler = p.Sampler
+	if p.WithCoAP {
+		tr := &meshTransport{node: n}
+		n.Router.Handle(lowpan.ProtoCoAP, func(src radio.NodeID, payload []byte) {
+			tr.deliver(strconv.Itoa(int(src)), payload)
+		})
+		n.CoAP = coap.NewConn(tr, clock.Kernel{K: env.k}, coap.ConnConfig{
+			Seed: env.seed + int64(i) + 1,
+			// The mesh is slow (multi-hop, duty-cycled): give the
+			// message layer room before retransmitting.
+			AckTimeout: 4 * time.Second,
+		})
+		n.CoAP.SetTrace(env.trace, int32(id))
+		n.CoAP.SetJourneys(env.m.Buffers().Journeys())
+		n.Server = coap.NewServer()
+		n.CoAP.Serve(n.Server)
+	}
+	n.MAC.Start()
+	n.Router.Start()
+	if p.RNFD != nil && i != 0 {
+		n.RNFD = n.Router.AttachRNFD(*p.RNFD)
+	}
+	return n
 }
 
 // NewStack builds and starts a heterogeneous deployment: every node's
@@ -278,54 +346,20 @@ func NewStack(cfg Stack) *Deployment {
 		d.Registry = registry.New()
 	}
 
-	f := d.stack.Factories.withDefaults()
+	env := nodeEnv{
+		k:      k,
+		m:      m,
+		reg:    reg,
+		trace:  d.Trace,
+		seed:   cfg.Seed,
+		router: d.stack.Router,
+		f:      d.stack.Factories.withDefaults(),
+	}
 	for i := range d.stack.Topology {
 		ns := d.stack.Topology[i]
-		p := d.profileOf(ns.Profile)
-		id := radio.NodeID(i)
-		n := &Node{ID: id, d: d, up: true, profile: p}
+		n := buildNode(env, i, ns.Pos, d.profileOf(ns.Profile))
+		n.d = d
 		d.Nodes = append(d.Nodes, n)
-		m.Attach(id, ns.Pos, radio.ReceiverFunc(func(fr radio.Frame) {
-			n.MAC.(radio.Receiver).RadioReceive(fr)
-		}))
-		n.MAC = f.MAC(m, id, p)
-		n.Link = f.Link(id, n.MAC)
-		n.Link.SetRecorder(d.Trace)
-		rcfg := d.stack.Router
-		if p.Router != nil {
-			rcfg = *p.Router
-		}
-		n.Router = f.Router(k, n.Link, i == 0, 0, rcfg, reg)
-		n.Router.SetRecorder(d.Trace)
-		idx := i
-		n.Agg = agg.NewNode(k, n.Router, n.Link, func(attr string) (float64, bool) {
-			if d.Nodes[idx].sampler == nil {
-				return 0, false
-			}
-			return d.Nodes[idx].sampler(attr)
-		})
-		n.sampler = p.Sampler
-		if p.WithCoAP {
-			tr := &meshTransport{node: n}
-			n.Router.Handle(lowpan.ProtoCoAP, func(src radio.NodeID, payload []byte) {
-				tr.deliver(strconv.Itoa(int(src)), payload)
-			})
-			n.CoAP = coap.NewConn(tr, clock.Kernel{K: k}, coap.ConnConfig{
-				Seed: cfg.Seed + int64(i) + 1,
-				// The mesh is slow (multi-hop, duty-cycled): give the
-				// message layer room before retransmitting.
-				AckTimeout: 4 * time.Second,
-			})
-			n.CoAP.SetTrace(d.Trace, int32(id))
-			n.CoAP.SetJourneys(d.M.Buffers().Journeys())
-			n.Server = coap.NewServer()
-			n.CoAP.Serve(n.Server)
-		}
-		n.MAC.Start()
-		n.Router.Start()
-		if p.RNFD != nil && i != 0 {
-			n.RNFD = n.Router.AttachRNFD(*p.RNFD)
-		}
 	}
 	return d
 }

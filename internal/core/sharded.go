@@ -1,0 +1,343 @@
+// Sharded deployments: one fleet split over several simulation kernels
+// so a single run uses multiple cores (DESIGN.md §9).
+//
+// The deployment plane is cut into vertical slabs ("stripes") by X
+// coordinate. Each stripe owns a full substrate — kernel, medium,
+// packet-buffer pool, metrics registry — and hosts the complete stacks
+// of its nodes. Stripes share virtual time through a sim.ShardGroup
+// whose lookahead is the minimum frame airtime; transmissions near a
+// slab boundary are mirrored into the audible neighbor stripes as
+// radio.Announcements carried across the group barrier.
+//
+// The stripe count is a MODEL parameter: it decides which frames cross
+// a barrier, so results depend on it, exactly like they depend on the
+// topology. The worker count (ShardGroup.SetWorkers) is pure execution
+// policy — a run is byte-identical at any worker count.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"iiotds/internal/metrics"
+	"iiotds/internal/radio"
+	"iiotds/internal/sim"
+)
+
+// Shard is one stripe's substrate.
+type Shard struct {
+	K   *sim.Kernel
+	M   *radio.Medium
+	Reg *metrics.Registry
+}
+
+// ShardedDeployment is a fleet running across several stripes under one
+// ShardGroup. It implements the same fault-injection surfaces as a flat
+// Deployment (fault.Target, fault.MediumCtl), with control operations
+// fanned to the owning stripe(s).
+type ShardedDeployment struct {
+	G      *sim.ShardGroup
+	Shards []*Shard
+	Nodes  []*Node // node ID order, across all stripes
+
+	stack    Stack
+	stripeOf []int // node index -> stripe index
+	stripes  int
+	minX     float64
+	slabW    float64
+
+	// extraAnnounce[s][t] counts PRR overrides whose sender lives on
+	// stripe s and receiver on stripe t: such links may be audible at
+	// any distance, so while any exist every frame from s is announced
+	// to t regardless of position.
+	extraAnnounce [][]int
+	overPairs     map[[2]radio.NodeID][2]int // installed override -> (src stripe, dst stripe)
+}
+
+// NewShardedStack builds and starts a deployment striped over the given
+// number of stripes. The stack description is the same one NewStack
+// takes, with two restrictions: backend tiers and tracing are not
+// supported on the sharded engine (both assume one kernel).
+func NewShardedStack(cfg Stack, stripes int) *ShardedDeployment {
+	if stripes < 1 {
+		panic("core: NewShardedStack needs at least one stripe")
+	}
+	cfg.applyDefaults()
+	if cfg.WithBackend {
+		panic("core: sharded stacks do not support WithBackend")
+	}
+	if cfg.TraceCapacity > 0 {
+		panic("core: sharded stacks do not support tracing")
+	}
+
+	sd := &ShardedDeployment{stack: cfg, stripes: stripes}
+
+	// Slab geometry over the topology's X extent. Nodes are assigned by
+	// clamped slab index, so outliers land in the edge stripes.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, ns := range cfg.Topology {
+		minX = math.Min(minX, ns.Pos.X)
+		maxX = math.Max(maxX, ns.Pos.X)
+	}
+	sd.minX = minX
+	sd.slabW = (maxX - minX) / float64(stripes)
+	if sd.slabW <= 0 {
+		sd.slabW = 1 // degenerate: all nodes share an X; everyone lands in stripe 0
+	}
+	sd.stripeOf = make([]int, len(cfg.Topology))
+	for i, ns := range cfg.Topology {
+		sd.stripeOf[i] = sd.stripeAt(ns.Pos.X)
+	}
+
+	// Per-stripe substrates. Stripe seeds derive from the deployment
+	// seed by a fixed mix, so one Spec seed still pins the whole run.
+	kernels := make([]*sim.Kernel, stripes)
+	for s := 0; s < stripes; s++ {
+		k := sim.New(cfg.Seed + int64(s)*1_000_003)
+		reg := metrics.NewRegistry()
+		kernels[s] = k
+		sd.Shards = append(sd.Shards, &Shard{K: k, M: radio.NewMedium(k, cfg.Radio, reg), Reg: reg})
+	}
+	// Lookahead: the minimum cross-stripe visibility delay is the
+	// airtime of a zero-payload frame (propagation is instantaneous in
+	// the model).
+	sd.G = sim.NewShardGroup(sd.Shards[0].M.Airtime(0), kernels...)
+
+	sd.extraAnnounce = make([][]int, stripes)
+	for s := range sd.extraAnnounce {
+		sd.extraAnnounce[s] = make([]int, stripes)
+	}
+	sd.overPairs = make(map[[2]radio.NodeID][2]int)
+
+	// Announce glue: every accepted transmission on stripe s is posted
+	// to each other stripe t whose slab it could be audible in.
+	for s := range sd.Shards {
+		s := s
+		sd.Shards[s].M.SetAnnounce(func(f radio.Frame, pos radio.Position, start, end sim.Time) {
+			var a radio.Announcement
+			captured := false
+			for t := range sd.Shards {
+				if t == s || !sd.announces(s, t, pos) {
+					continue
+				}
+				if !captured {
+					a = radio.NewAnnouncement(f, pos, start, end)
+					captured = true
+				}
+				dst := sd.Shards[t].M
+				sd.G.Post(s, t, func() { dst.ApplyForeign(a) })
+			}
+		})
+	}
+
+	env := nodeEnv{
+		seed:   cfg.Seed,
+		router: cfg.Router,
+		f:      cfg.Factories.withDefaults(),
+	}
+	for i := range cfg.Topology {
+		ns := cfg.Topology[i]
+		sh := sd.Shards[sd.stripeOf[i]]
+		env.k, env.m, env.reg = sh.K, sh.M, sh.Reg
+		sd.Nodes = append(sd.Nodes, buildNode(env, i, ns.Pos, profileIn(&sd.stack, ns.Profile)))
+	}
+	return sd
+}
+
+// stripeAt maps an X coordinate to its owning stripe (clamped: the
+// node at max X belongs to the last stripe).
+func (sd *ShardedDeployment) stripeAt(x float64) int {
+	s := int((x - sd.minX) / sd.slabW)
+	if s < 0 {
+		s = 0
+	}
+	if s >= sd.stripes {
+		s = sd.stripes - 1
+	}
+	return s
+}
+
+// announces reports whether a frame sent from pos on stripe s must be
+// mirrored to stripe t: within interference range of t's slab, or a
+// distance-free override link currently points from s into t.
+func (sd *ShardedDeployment) announces(s, t int, pos radio.Position) bool {
+	if sd.extraAnnounce[s][t] > 0 {
+		return true
+	}
+	lo := sd.minX + float64(t)*sd.slabW
+	hi := lo + sd.slabW
+	r := sd.stack.Radio.RangeMax // applyDefaults filled it
+	return pos.X > lo-r && pos.X < hi+r
+}
+
+// Stripes returns the stripe count.
+func (sd *ShardedDeployment) Stripes() int { return len(sd.Shards) }
+
+// StripeOf returns the stripe that owns node id.
+func (sd *ShardedDeployment) StripeOf(id radio.NodeID) int { return sd.stripeOf[int(id)] }
+
+// Root returns the border-router node.
+func (sd *ShardedDeployment) Root() *Node { return sd.Nodes[0] }
+
+// shardOfNode returns the substrate of the stripe owning id.
+func (sd *ShardedDeployment) shardOfNode(id radio.NodeID) *Shard {
+	return sd.Shards[sd.stripeOf[int(id)]]
+}
+
+// Crash stops a node's whole stack (fault.Target). Must run at a group
+// barrier (control timeline), like all cross-stripe mutation.
+func (sd *ShardedDeployment) Crash(id radio.NodeID) {
+	n := sd.Nodes[int(id)]
+	if !n.up {
+		return
+	}
+	n.up = false
+	n.Router.Stop()
+	if n.RNFD != nil {
+		n.RNFD.Stop()
+	}
+	n.MAC.Stop()
+	if n.CoAP != nil {
+		n.CoAP.Reset()
+	}
+	sd.shardOfNode(id).M.SetDown(id, true)
+}
+
+// Recover restarts a crashed node with empty volatile state
+// (fault.Target). Peer state about the old incarnation is dropped
+// across every stripe.
+func (sd *ShardedDeployment) Recover(id radio.NodeID) {
+	n := sd.Nodes[int(id)]
+	if n.up {
+		return
+	}
+	n.up = true
+	sd.shardOfNode(id).M.SetDown(id, false)
+	n.Link.Reboot()
+	for _, p := range sd.Nodes {
+		if p.ID != id {
+			p.Link.ForgetNeighbor(id)
+		}
+	}
+	n.MAC.Start()
+	n.Router.Restart()
+	if n.profile.RNFD != nil && id != 0 {
+		n.RNFD = n.Router.AttachRNFD(*n.profile.RNFD)
+	}
+}
+
+// SetDown marks a node crashed/recovered on its owning stripe's medium
+// (fault.MediumCtl).
+func (sd *ShardedDeployment) SetDown(id radio.NodeID, down bool) {
+	sd.shardOfNode(id).M.SetDown(id, down)
+}
+
+// SetLinkFilter installs a delivery veto on every stripe
+// (fault.MediumCtl). Filters are keyed by deployment-global IDs, so one
+// function serves local and ghost fan-out alike.
+func (sd *ShardedDeployment) SetLinkFilter(f radio.LinkFilter) {
+	for _, sh := range sd.Shards {
+		sh.M.SetLinkFilter(f)
+	}
+}
+
+// SetLinkPRR overrides the PRR of the directed link from->to
+// (fault.MediumCtl). The override is installed on both endpoint
+// stripes — the sender's for its local fan-out, the receiver's for
+// ghost fan-out — and cross-stripe overrides additionally force
+// announcements between the two stripes (override links are
+// distance-free, so slab adjacency cannot be relied on).
+func (sd *ShardedDeployment) SetLinkPRR(from, to radio.NodeID, prr float64) {
+	key := [2]radio.NodeID{from, to}
+	ss, ts := sd.stripeOf[int(from)], sd.stripeOf[int(to)]
+	sd.Shards[ss].M.SetLinkPRR(from, to, prr)
+	if ts != ss {
+		sd.Shards[ts].M.SetLinkPRR(from, to, prr)
+	}
+	if prr < 0 {
+		if pair, ok := sd.overPairs[key]; ok {
+			delete(sd.overPairs, key)
+			if pair[0] != pair[1] {
+				sd.extraAnnounce[pair[0]][pair[1]]--
+			}
+		}
+		return
+	}
+	if _, ok := sd.overPairs[key]; !ok {
+		sd.overPairs[key] = [2]int{ss, ts}
+		if ss != ts {
+			sd.extraAnnounce[ss][ts]++
+		}
+	}
+}
+
+// RetuneTenant implements spectrum.Retuner across all stripes.
+func (sd *ShardedDeployment) RetuneTenant(tenant string, ch uint8) {
+	for _, n := range sd.Nodes {
+		if n.profile.Tenant == tenant {
+			n.MAC.Retune(ch)
+		}
+	}
+}
+
+// Converged reports whether every running node has joined the DODAG.
+// Safe only at a group barrier.
+func (sd *ShardedDeployment) Converged() bool {
+	for _, n := range sd.Nodes {
+		if !n.up {
+			continue
+		}
+		if n.Router.Partitioned() {
+			return false
+		}
+		if joined, _ := n.Router.Joined(); !joined {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergedFraction returns the fraction of running nodes that have
+// joined the DODAG — the city-scale metric: at 10k+ nodes the question
+// is how much of the fleet is routable, not whether the last straggler
+// made it.
+func (sd *ShardedDeployment) ConvergedFraction() float64 {
+	up, joined := 0, 0
+	for _, n := range sd.Nodes {
+		if !n.up {
+			continue
+		}
+		up++
+		if j, _ := n.Router.Joined(); j && !n.Router.Partitioned() {
+			joined++
+		}
+	}
+	if up == 0 {
+		return 0
+	}
+	return float64(joined) / float64(up)
+}
+
+// RunUntilConverged advances the group until the DODAG is complete or
+// maxSim elapses; it reports success and the convergence time.
+func (sd *ShardedDeployment) RunUntilConverged(maxSim time.Duration) (bool, time.Duration) {
+	start := sd.G.Now()
+	deadline := start + maxSim
+	for sd.G.Now() < deadline {
+		if sd.Converged() {
+			return true, sd.G.Now() - start
+		}
+		sd.G.RunFor(time.Second)
+	}
+	return sd.Converged(), sd.G.Now() - start
+}
+
+// Stats aggregates the scheduling counters of every stripe kernel.
+func (sd *ShardedDeployment) Stats() sim.Stats { return sd.G.Stats() }
+
+// String summarizes the sharding layout for logs.
+func (sd *ShardedDeployment) String() string {
+	return fmt.Sprintf("sharded{stripes=%d nodes=%d slab=%.1fm lookahead=%v}",
+		len(sd.Shards), len(sd.Nodes), sd.slabW, sd.G.Lookahead())
+}

@@ -215,6 +215,37 @@ func TestScenarioQuickDeterminism(t *testing.T) {
 	}
 }
 
+// TestShardWorkerInvariance is the sharded-engine analogue of
+// TestParallelMatchesSequential: E15's table must be byte-identical
+// whether its eight stripes execute on one OS thread or four — worker
+// count is execution policy, never model (the CI shards-1-vs-4 gate).
+// The brute-force fan-out must also reproduce the indexed table
+// exactly: the spatial index is an optimization, not a model change.
+func TestShardWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	r, ok := ByID("E15")
+	if !ok {
+		t.Fatal("E15 not registered")
+	}
+	SetShardWorkers(1)
+	seq := render(r.Run(Quick))
+	SetShardWorkers(4)
+	par := render(r.Run(Quick))
+	SetShardWorkers(0)
+	defer SetShardWorkers(0)
+	if seq != par {
+		t.Fatalf("E15 at 4 shard workers differs from 1:\n--- 1 ---\n%s\n--- 4 ---\n%s", seq, par)
+	}
+	SetSpatialIndex(false)
+	brute := render(r.Run(Quick))
+	SetSpatialIndex(true)
+	if brute != seq {
+		t.Fatalf("E15 with brute-force fan-out differs from indexed:\n--- indexed ---\n%s\n--- brute ---\n%s", seq, brute)
+	}
+}
+
 // TestStatsPopulated checks that the kernel-backed experiments actually
 // report event counters through the runner.
 func TestStatsPopulated(t *testing.T) {
@@ -223,7 +254,8 @@ func TestStatsPopulated(t *testing.T) {
 	}
 	withKernels := map[string]bool{
 		"E2": true, "E3": true, "E4": true, "E5": true, "E6": true,
-		"E9": true, "E10": true, "E11": true, "E13": true, "E14": true, "F1": true,
+		"E9": true, "E10": true, "E11": true, "E13": true, "E14": true,
+		"E15": true, "F1": true,
 	}
 	for _, r := range All() {
 		tab := r.Run(Quick)

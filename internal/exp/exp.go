@@ -40,6 +40,19 @@ type Table struct {
 	// rendered table, so String()/Markdown() output stays byte-identical
 	// across runner configurations.
 	Stats RunStats `json:"stats"`
+	// Notes carries side measurements that are real results but not
+	// deterministic — wall-clock throughput, engine configuration. Like
+	// Stats, Notes is reported by iiotbench -json only and never rendered
+	// by String()/Markdown(), so table bytes stay machine-independent.
+	Notes map[string]string `json:"notes,omitempty"`
+}
+
+// Note records a key/value side measurement (see Notes).
+func (t *Table) Note(key, value string) {
+	if t.Notes == nil {
+		t.Notes = make(map[string]string)
+	}
+	t.Notes[key] = value
 }
 
 // AddRow appends a formatted row.
@@ -117,6 +130,7 @@ func All() []Runner {
 		{"E11", E11Security},
 		{"E13", E13MixedFleet},
 		{"E14", E14ChurnSoak},
+		{"E15", E15CityScale},
 		{"F1", F1ThreeTier},
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"iiotds/internal/radio"
-	"iiotds/internal/sim"
 )
 
 // This file is the churn engine: generator processes that drive an
@@ -73,7 +72,7 @@ type ChurnConfig struct {
 // on the kernel goroutine (between kernel runs or inside callbacks).
 type Churn struct {
 	inj *Injector
-	k   *sim.Kernel
+	k   Sched
 	rng *rand.Rand
 	cfg ChurnConfig
 

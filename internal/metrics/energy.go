@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -84,12 +85,15 @@ func (p PowerProfile) watts(s RadioState) float64 {
 	}
 }
 
-// EnergyLedger accumulates per-state time and energy for one node.
+// EnergyLedger accumulates per-state time for one node. Durations are
+// exact integer nanoseconds held in atomics — Spend sits on the radio
+// delivery fan-out (one call per receiver per frame), where a mutex was
+// measurably hot at city scale — and joules are derived on read as
+// watts x total time, which is both cheaper and numerically tighter
+// than accumulating per-frame float products.
 type EnergyLedger struct {
-	mu      sync.Mutex
 	profile PowerProfile
-	dur     [numStates]time.Duration
-	joules  [numStates]float64
+	dur     [numStates]atomic.Int64 // nanoseconds in state
 }
 
 // NewEnergyLedger returns a ledger using the given power profile.
@@ -102,58 +106,45 @@ func (l *EnergyLedger) Spend(s RadioState, d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("metrics: EnergyLedger.Spend negative duration %v", d))
 	}
-	l.mu.Lock()
-	l.dur[s] += d
-	l.joules[s] += l.profile.watts(s) * d.Seconds()
-	l.mu.Unlock()
+	l.dur[s].Add(int64(d))
 }
 
 // Joules returns the energy spent in state s.
 func (l *EnergyLedger) Joules(s RadioState) float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.joules[s]
+	return l.profile.watts(s) * l.Duration(s).Seconds()
 }
 
 // TotalJoules returns the energy spent across all states.
 func (l *EnergyLedger) TotalJoules() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var t float64
-	for _, j := range l.joules {
-		t += j
+	for s := RadioState(0); s < numStates; s++ {
+		t += l.Joules(s)
 	}
 	return t
 }
 
 // Duration returns the accumulated time in state s.
 func (l *EnergyLedger) Duration(s RadioState) time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.dur[s]
+	return time.Duration(l.dur[s].Load())
 }
 
 // RadioOn returns the accumulated time with the radio powered
 // (listen + rx + tx) — the quantity duty-cycling minimizes.
 func (l *EnergyLedger) RadioOn() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.dur[StateListen] + l.dur[StateRx] + l.dur[StateTx]
+	return l.Duration(StateListen) + l.Duration(StateRx) + l.Duration(StateTx)
 }
 
 // DutyCycle returns the fraction of total accounted time with the radio
 // powered. It returns 0 when nothing has been accounted.
 func (l *EnergyLedger) DutyCycle() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var total time.Duration
-	for _, d := range l.dur {
-		total += d
+	for s := RadioState(0); s < numStates; s++ {
+		total += l.Duration(s)
 	}
 	if total == 0 {
 		return 0
 	}
-	on := l.dur[StateListen] + l.dur[StateRx] + l.dur[StateTx]
+	on := l.RadioOn()
 	return float64(on) / float64(total)
 }
 

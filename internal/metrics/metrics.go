@@ -12,13 +12,16 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count. It is updated on the
+// radio per-frame path (tx/rx/collision accounting), so it stores its
+// float64 as atomic bits with a CAS add instead of taking a mutex: the
+// single writer per kernel makes the CAS succeed on the first try.
 type Counter struct {
-	mu sync.Mutex
-	v  float64
+	bits atomic.Uint64
 }
 
 // Add increments the counter by d, which must be non-negative.
@@ -26,9 +29,12 @@ func (c *Counter) Add(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("metrics: Counter.Add(%v) with negative delta", d))
 	}
-	c.mu.Lock()
-	c.v += d
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
 }
 
 // Inc increments the counter by one.
@@ -36,9 +42,7 @@ func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
 func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return math.Float64frombits(c.bits.Load())
 }
 
 // Gauge is an instantaneous value that can go up and down.

@@ -1,0 +1,75 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"iiotds/internal/sim"
+)
+
+// benchMedium builds an N-node medium. dense packs everyone into one
+// RangeMax-sized neighborhood (every node hears every other — the
+// worst case for fan-out work); sparse spreads nodes at roughly
+// uniform density ~6 neighbors each, the regime a city-scale fleet
+// lives in and where the spatial index pays off.
+func benchMedium(n int, dense bool) (*sim.Kernel, *Medium) {
+	k := sim.New(1)
+	m := NewMedium(k, DefaultParams(), nil)
+	rng := rand.New(rand.NewSource(7))
+	span := 30.0 // everyone within one cell neighborhood
+	if !dense {
+		// Area giving ~6 expected nodes within RangeMax of a point.
+		span = DefaultParams().RangeMax * math.Sqrt(math.Pi*float64(n)/6)
+	}
+	for i := 0; i < n; i++ {
+		m.Attach(NodeID(i), Position{X: rng.Float64() * span, Y: rng.Float64() * span}, ReceiverFunc(func(Frame) {}))
+		m.SetListening(NodeID(i), true)
+	}
+	return k, m
+}
+
+// BenchmarkSend measures one Send fan-out plus its completion drain.
+// The indexed path visits only the 3×3 cell neighborhood; brute is the
+// reference O(N) scan. BENCH_spatial.json records the before/after.
+func BenchmarkSend(b *testing.B) {
+	for _, density := range []string{"dense", "sparse"} {
+		for _, n := range []int{100, 1000, 10000} {
+			for _, mode := range []string{"indexed", "brute"} {
+				b.Run(fmt.Sprintf("%s/n=%d/%s", density, n, mode), func(b *testing.B) {
+					k, m := benchMedium(n, density == "dense")
+					m.SetBruteForce(mode == "brute")
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						m.Send(Frame{From: NodeID(i % n), To: Broadcast, Size: 30})
+						k.Run() // drain the completion event
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSendFanoutAllocFree is the CI gate for the satellite requirement:
+// the indexed delivery path allocates nothing in steady state. The
+// first sends warm the transmission pool, per-node energy ledgers, and
+// the per-cell candidate caches from every spot; after that, Send +
+// completion must be 0 allocs/op.
+func TestSendFanoutAllocFree(t *testing.T) {
+	k, m := benchMedium(500, false)
+	for i := 0; i < 500; i++ { // warm pools, ledgers, caches from every spot
+		m.Send(Frame{From: NodeID(i), To: Broadcast, Size: 30})
+		k.Run()
+	}
+	i := 0
+	avg := testing.AllocsPerRun(300, func() {
+		m.Send(Frame{From: NodeID(i % 500), To: Broadcast, Size: 30})
+		k.Run()
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state indexed Send = %v allocs/op, want 0", avg)
+	}
+}

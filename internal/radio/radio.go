@@ -111,14 +111,18 @@ type nodeState struct {
 	id        NodeID
 	pos       Position
 	recv      Receiver
+	led       *metrics.EnergyLedger // resolved once at Attach (hot path)
 	channel   uint8
 	listening bool
 	down      bool
 }
 
-// delivery is one in-flight frame copy headed to one receiver.
+// delivery is one in-flight frame copy headed to one receiver. The
+// resolved receiver pointer rides along so the fan-out and completion
+// never go back through the node map.
 type delivery struct {
 	to        NodeID
+	n         *nodeState
 	corrupted bool
 }
 
@@ -130,8 +134,19 @@ type transmission struct {
 	frame      Frame
 	start      sim.Time
 	end        sim.Time
+	srcPos     Position   // sender position at Send time
+	src        *nodeState // local sender; nil for foreign (sharded.go)
+	foreign    bool       // sender lives on another shard (sharded.go)
+	epoch      uint64     // medium posEpoch when the flight started
 	dels       []delivery
 	completeFn func() // prebuilt m.complete(tx) closure
+}
+
+// cellKey addresses one square cell of the spatial index. The grid is
+// unbounded: keys are computed by flooring coordinates, so negative and
+// far-out positions hash fine.
+type cellKey struct {
+	x, y int32
 }
 
 // Medium is the shared wireless channel set. It is single-threaded and
@@ -154,6 +169,43 @@ type Medium struct {
 	reg     *metrics.Registry
 	rec     *trace.Recorder
 	prrOver map[[2]NodeID]float64
+
+	// Spatial index (DESIGN.md §9). Nodes are bucketed into square cells
+	// of side RangeMax; every node audible from a position by distance is
+	// inside the 3×3 cell neighborhood of that position. Cell slices are
+	// kept sorted by ID so the fan-out's streaming merge visits
+	// candidates in exactly the ascending-ID order the flat `ordered`
+	// scan used — the audible subset, and therefore the RNG draw
+	// sequence, is byte-identical.
+	cellSize float64
+	cells    map[cellKey][]*nodeState
+	// candCache memoizes, per center cell, the merged ID-sorted 3×3
+	// neighborhood the fan-out walks. Topology edits (attach, re-bucket)
+	// bump gridGen, lazily invalidating every entry; steady-state sends
+	// then iterate one flat slice with no per-candidate merge work.
+	candCache map[cellKey]*candList
+	gridGen   uint64
+	// Collision-check pruning (DESIGN.md §9). Two transmissions can only
+	// interact when their senders are within 2·RangeMax: every receiver
+	// sits strictly inside RangeMax of its sender whenever no PRR
+	// override is installed. nearTx is the per-send scratch holding the
+	// live co-channel transmissions that pass the bound; posEpoch counts
+	// SetPosition calls so flights that overlap node movement fall back
+	// to the unpruned loop (a moved receiver may have left its sender's
+	// disk, voiding the bound).
+	nearTx   []*transmission
+	posEpoch uint64
+	// PRR overrides can make a link audible beyond RangeMax (the fault
+	// layer's degraded-link model is distance-free), so override
+	// receivers are merged into every candidate set as a tenth stream.
+	overTo   map[NodeID]int // incoming-override count per receiver
+	overRecv []*nodeState   // attached override receivers, ID-sorted
+	brute    bool           // force the O(N) ordered scan (oracle/baseline)
+
+	// announce, when set, observes every accepted transmission so a
+	// sharded deployment can mirror border traffic into neighbor shards
+	// (sharded.go). nil for a standalone medium.
+	announce func(f Frame, pos Position, start, end sim.Time)
 
 	// Hot-path counters resolved once at construction: Registry.Counter
 	// is a mutex+map lookup, too slow for the per-frame path.
@@ -178,14 +230,24 @@ func NewMedium(k *sim.Kernel, p Params, reg *metrics.Registry) *Medium {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	cs := p.RangeMax
+	if cs <= 0 {
+		// Degenerate model: nothing is audible by distance, only via PRR
+		// overrides. Any positive cell size keeps the grid well-defined.
+		cs = 1
+	}
 	return &Medium{
-		k:       k,
-		params:  p,
-		nodes:   make(map[NodeID]*nodeState),
-		pool:    netbuf.NewPool(),
-		energy:  metrics.NewEnergySet(metrics.DefaultPowerProfile()),
-		reg:     reg,
-		prrOver: make(map[[2]NodeID]float64),
+		k:         k,
+		params:    p,
+		nodes:     make(map[NodeID]*nodeState),
+		pool:      netbuf.NewPool(),
+		energy:    metrics.NewEnergySet(metrics.DefaultPowerProfile()),
+		reg:       reg,
+		prrOver:   make(map[[2]NodeID]float64),
+		cellSize:  cs,
+		cells:     make(map[cellKey][]*nodeState),
+		candCache: make(map[cellKey]*candList),
+		overTo:    make(map[NodeID]int),
 
 		cTxFrames:   reg.Counter("radio.tx_frames"),
 		cTxBytes:    reg.Counter("radio.tx_bytes"),
@@ -227,18 +289,89 @@ func (m *Medium) Attach(id NodeID, pos Position, recv Receiver) {
 	if recv == nil {
 		panic("radio: Attach with nil receiver")
 	}
-	n := &nodeState{id: id, pos: pos, recv: recv}
+	n := &nodeState{id: id, pos: pos, recv: recv, led: m.energy.Ledger(int(id))}
 	m.nodes[id] = n
-	at := sort.Search(len(m.ordered), func(i int) bool { return m.ordered[i].id > id })
-	m.ordered = append(m.ordered, nil)
-	copy(m.ordered[at+1:], m.ordered[at:])
-	m.ordered[at] = n
+	insertSorted(&m.ordered, n)
+	m.cellInsert(n)
+	if m.overTo[id] > 0 {
+		// An override targeting this node was installed before it
+		// attached; it joins the override-receiver stream now.
+		insertSorted(&m.overRecv, n)
+	}
 }
 
-// SetPosition moves a node (e.g., a mobile asset tag).
-func (m *Medium) SetPosition(id NodeID, pos Position) {
-	m.mustNode(id).pos = pos
+// insertSorted inserts n into the ID-sorted slice *s.
+func insertSorted(s *[]*nodeState, n *nodeState) {
+	v := *s
+	at := sort.Search(len(v), func(i int) bool { return v[i].id > n.id })
+	v = append(v, nil)
+	copy(v[at+1:], v[at:])
+	v[at] = n
+	*s = v
 }
+
+// removeSorted removes the node with the given id from the ID-sorted
+// slice *s (no-op if absent).
+func removeSorted(s *[]*nodeState, id NodeID) {
+	v := *s
+	at := sort.Search(len(v), func(i int) bool { return v[i].id >= id })
+	if at == len(v) || v[at].id != id {
+		return
+	}
+	copy(v[at:], v[at+1:])
+	v[len(v)-1] = nil
+	*s = v[:len(v)-1]
+}
+
+// cellOf returns the grid cell containing p.
+func (m *Medium) cellOf(p Position) cellKey {
+	return cellKey{
+		x: int32(math.Floor(p.X / m.cellSize)),
+		y: int32(math.Floor(p.Y / m.cellSize)),
+	}
+}
+
+func (m *Medium) cellInsert(n *nodeState) {
+	key := m.cellOf(n.pos)
+	s := m.cells[key]
+	insertSorted(&s, n)
+	m.cells[key] = s
+	m.gridGen++
+}
+
+func (m *Medium) cellRemove(n *nodeState, key cellKey) {
+	s := m.cells[key]
+	removeSorted(&s, n.id)
+	if len(s) == 0 {
+		delete(m.cells, key)
+	} else {
+		m.cells[key] = s
+	}
+	m.gridGen++
+}
+
+// SetPosition moves a node (e.g., a mobile asset tag), re-bucketing it
+// in the spatial index when it crosses a cell boundary.
+func (m *Medium) SetPosition(id NodeID, pos Position) {
+	n := m.mustNode(id)
+	m.posEpoch++
+	oldKey := m.cellOf(n.pos)
+	n.pos = pos
+	if newKey := m.cellOf(pos); newKey != oldKey {
+		m.cellRemove(n, oldKey)
+		m.cellInsert(n)
+	}
+}
+
+// SetBruteForce forces (true) or restores (false) the reference O(N)
+// medium: the flat ordered-scan delivery fan-out instead of the spatial
+// index, and unpruned collision loops over every active transmission
+// instead of the 2·RangeMax sender-distance cut. The two engines visit
+// the same audible receivers in the same ID order and corrupt the same
+// deliveries — the grid and pruning invariants DESIGN.md §9 proves — so
+// results are byte-identical; only wall-clock time differs. Tests use
+// the brute path as the oracle and benchmarks as the baseline.
+func (m *Medium) SetBruteForce(on bool) { m.brute = on }
 
 // PositionOf returns a node's position.
 func (m *Medium) PositionOf(id NodeID) Position { return m.mustNode(id).pos }
@@ -273,11 +406,26 @@ func (m *Medium) SetLinkFilter(f LinkFilter) { m.filter = f }
 func (m *Medium) SetLinkPRR(from, to NodeID, prr float64) {
 	key := [2]NodeID{from, to}
 	if prr < 0 {
-		delete(m.prrOver, key)
+		if _, ok := m.prrOver[key]; ok {
+			delete(m.prrOver, key)
+			m.overTo[to]--
+			if m.overTo[to] == 0 {
+				delete(m.overTo, to)
+				removeSorted(&m.overRecv, to)
+			}
+		}
 		return
 	}
 	if prr > 1 {
 		panic(fmt.Sprintf("radio: PRR %v > 1", prr))
+	}
+	if _, ok := m.prrOver[key]; !ok {
+		m.overTo[to]++
+		if m.overTo[to] == 1 {
+			if n, ok := m.nodes[to]; ok {
+				insertSorted(&m.overRecv, n)
+			}
+		}
 	}
 	m.prrOver[key] = prr
 }
@@ -338,7 +486,7 @@ func (m *Medium) CarrierSense(id NodeID) bool {
 		if tx.end <= now || tx.frame.Channel != n.channel {
 			continue
 		}
-		if m.audible(tx.frame.From, id) {
+		if m.txAudible(tx, n) {
 			return true
 		}
 	}
@@ -363,6 +511,12 @@ func (m *Medium) getTx() *transmission {
 // reference but keeping the dels capacity and closure.
 func (m *Medium) putTx(tx *transmission) {
 	tx.frame = Frame{}
+	tx.srcPos = Position{}
+	tx.src = nil
+	tx.foreign = false
+	for i := range tx.dels {
+		tx.dels[i].n = nil
+	}
 	tx.dels = tx.dels[:0]
 	m.txFree = append(m.txFree, tx)
 }
@@ -382,6 +536,192 @@ func (m *Medium) audible(from, to NodeID) bool {
 	}
 	src, dst := m.mustNode(from), m.mustNode(to)
 	return src.pos.Distance(dst.pos) < m.params.RangeMax
+}
+
+// audibleAt is the fan-out hot path's audibility predicate: the sender
+// is given by ID + position and the receiver by its resolved state, so
+// the common case (no overrides installed) touches no maps at all. It
+// decides exactly like audible/foreignAudible — filter, then override,
+// then distance — so the audible set is unchanged.
+func (m *Medium) audibleAt(from NodeID, pos Position, dst *nodeState) bool {
+	if from == dst.id {
+		return false
+	}
+	if m.filter != nil && !m.filter(from, dst.id) {
+		return false
+	}
+	if len(m.prrOver) > 0 {
+		if prr, ok := m.prrOver[[2]NodeID{from, dst.id}]; ok {
+			return prr > 0
+		}
+	}
+	return pos.Distance(dst.pos) < m.params.RangeMax
+}
+
+// foreignAudible is audible for a sender that is not attached to this
+// medium (a ghost transmission mirrored from another shard): the sender
+// is known only by ID and position. Filters and PRR overrides are keyed
+// by deployment-global IDs, so partitions and degraded links keep
+// working across shard boundaries.
+func (m *Medium) foreignAudible(from NodeID, pos Position, to NodeID) bool {
+	if from == to {
+		return false
+	}
+	if m.filter != nil && !m.filter(from, to) {
+		return false
+	}
+	if prr, ok := m.prrOver[[2]NodeID{from, to}]; ok {
+		return prr > 0
+	}
+	return pos.Distance(m.mustNode(to).pos) < m.params.RangeMax
+}
+
+// txAudible reports whether an in-flight transmission is audible at dst,
+// handling foreign senders that have no nodeState here. Local senders
+// are judged at their current position (a node moved mid-flight carries
+// its interference with it, as the flat scan always did); foreign ones
+// at the announced position.
+func (m *Medium) txAudible(tx *transmission, dst *nodeState) bool {
+	pos := tx.srcPos
+	if tx.src != nil {
+		pos = tx.src.pos
+	}
+	return m.audibleAt(tx.frame.From, pos, dst)
+}
+
+// nearActive collects the live co-channel transmissions that could
+// possibly interact with a frame sent from pos, into a reused scratch
+// slice (valid until the next call). A transmission is skipped only
+// when the 2·RangeMax sender-distance bound proves no shared audible
+// point exists — and only when that bound actually holds: no PRR
+// override installed (overrides are distance-free) and no node moved
+// since the flight started (posEpoch match; a moved receiver may have
+// left its sender's disk). Iterating the pruned list is therefore
+// decision-for-decision identical to iterating m.active: everything
+// dropped would have failed the audibility predicate anyway.
+func (m *Medium) nearActive(pos Position, ch uint8, now sim.Time) []*transmission {
+	near := m.nearTx[:0]
+	limit := 2 * m.params.RangeMax
+	prune := !m.brute && len(m.prrOver) == 0
+	for _, other := range m.active {
+		if other.end <= now || other.frame.Channel != ch {
+			continue
+		}
+		if prune && other.epoch == m.posEpoch {
+			// No movement since this flight started, so its send-time
+			// position is current for the sender and every receiver.
+			if pos.Distance(other.srcPos) >= limit {
+				continue
+			}
+		}
+		near = append(near, other)
+	}
+	m.nearTx = near
+	return near
+}
+
+// foreignPRR is PRR for a sender known only by ID and position.
+func (m *Medium) foreignPRR(from NodeID, pos Position, to NodeID) float64 {
+	if prr, ok := m.prrOver[[2]NodeID{from, to}]; ok {
+		return prr
+	}
+	return m.prrAtDistance(pos.Distance(m.mustNode(to).pos))
+}
+
+// candList is one candCache entry: the ID-sorted union of a 3×3 cell
+// neighborhood, valid while gen matches the medium's gridGen. The slice
+// keeps its capacity across rebuilds, so steady-state invalidation
+// churn (mobile nodes crossing cell boundaries) does not allocate.
+type candList struct {
+	gen  uint64
+	list []*nodeState
+}
+
+// forEachCandidate visits every node that could possibly be audible from
+// center — the 3×3 cell neighborhood (cell side = RangeMax, so distance
+// audibility cannot reach farther) plus the override receivers (PRR
+// overrides are distance-free) — in strictly ascending ID order with
+// duplicates suppressed. Because candidates are a superset of the
+// audible set presented in the same ID order as the flat scan, the
+// audible subset — and with it the RNG draw order — is identical to the
+// brute-force path. With SetBruteForce the flat ordered scan is used
+// instead.
+//
+// The neighborhood union is memoized per center cell (candCache) and
+// invalidated wholesale by gridGen whenever any node attaches or
+// re-buckets; a static fleet pays the 9-cell streaming merge once per
+// cell and every later send iterates one flat slice. Cells are
+// disjoint, so the cached union needs no dedup; only the override
+// stream — merged live, since SetLinkPRR does not bump gridGen — can
+// duplicate a cell member. Zero heap allocations in steady state.
+func (m *Medium) forEachCandidate(center Position, fn func(*nodeState)) {
+	if m.brute {
+		for _, n := range m.ordered {
+			fn(n)
+		}
+		return
+	}
+	c := m.cellOf(center)
+	cl := m.candCache[c]
+	if cl == nil {
+		cl = &candList{gen: m.gridGen - 1}
+		m.candCache[c] = cl
+	}
+	if cl.gen != m.gridGen {
+		cl.list = cl.list[:0]
+		var streams [9][]*nodeState
+		ns := 0
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				if s := m.cells[cellKey{c.x + dx, c.y + dy}]; len(s) > 0 {
+					streams[ns] = s
+					ns++
+				}
+			}
+		}
+		for {
+			best := -1
+			for i := 0; i < ns; i++ {
+				if len(streams[i]) == 0 {
+					continue
+				}
+				if best < 0 || streams[i][0].id < streams[best][0].id {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			cl.list = append(cl.list, streams[best][0])
+			streams[best] = streams[best][1:]
+		}
+		cl.gen = m.gridGen
+	}
+	if len(m.overRecv) == 0 {
+		for _, n := range cl.list {
+			fn(n)
+		}
+		return
+	}
+	// Two-way merge with the override receivers, suppressing the
+	// duplicate when an override target is also a neighborhood member.
+	a, b := cl.list, m.overRecv
+	last := NodeID(0)
+	first := true
+	for len(a) > 0 || len(b) > 0 {
+		var n *nodeState
+		if len(b) == 0 || (len(a) > 0 && a[0].id <= b[0].id) {
+			n, a = a[0], a[1:]
+		} else {
+			n, b = b[0], b[1:]
+		}
+		if !first && n.id == last {
+			continue
+		}
+		first = false
+		last = n.id
+		fn(n)
+	}
 }
 
 // Send transmits frame f from node f.From. Delivery callbacks fire at the
@@ -406,22 +746,24 @@ func (m *Medium) Send(f Frame) time.Duration {
 	now := m.k.Now()
 	m.cTxFrames.Inc()
 	m.cTxBytes.Add(float64(f.Size))
-	m.energy.Ledger(int(f.From)).Spend(metrics.StateTx, air)
+	src.led.Spend(metrics.StateTx, air)
 	m.rec.Emit(int32(f.From), trace.RadioTx, int64(f.To), int64(f.Size), 0, payloadJourney(f.Payload))
 
 	tx := m.getTx()
 	tx.frame = f
 	tx.start, tx.end = now, now+air
+	tx.srcPos = src.pos
+	tx.src = src
+	tx.epoch = m.posEpoch
 
 	// Mark collisions: any receiver that can hear both this frame and an
-	// already-active co-channel frame decodes neither.
-	for _, other := range m.active {
-		if other.end <= now || other.frame.Channel != f.Channel {
-			continue
-		}
+	// already-active co-channel frame decodes neither. Only the spatially
+	// near transmissions (nearActive) can have such a receiver.
+	near := m.nearActive(src.pos, f.Channel, now)
+	for _, other := range near {
 		for i := range other.dels {
 			d := &other.dels[i]
-			if !d.corrupted && m.audible(f.From, d.to) {
+			if !d.corrupted && m.audibleAt(f.From, src.pos, d.n) {
 				d.corrupted = true
 				m.cCollisions.Inc()
 				if other.frame.Tenant != f.Tenant {
@@ -432,21 +774,40 @@ func (m *Medium) Send(f Frame) time.Duration {
 		}
 	}
 
-	for _, n := range m.ordered {
+	m.forEachCandidate(src.pos, func(n *nodeState) {
 		id := n.id
 		if id == f.From || n.down || !n.listening || n.channel != f.Channel {
-			continue
+			return
 		}
-		if !m.audible(f.From, id) {
-			continue
+		// Audibility and link PRR share one distance computation, and the
+		// override map (rare) is consulted only when any are installed;
+		// the decision order matches audible()/PRR() exactly, so the
+		// audible set and the loss-draw values are unchanged.
+		if m.filter != nil && !m.filter(f.From, id) {
+			return
+		}
+		prr, over := 0.0, false
+		if len(m.prrOver) > 0 {
+			prr, over = m.prrOver[[2]NodeID{f.From, id}]
+		}
+		if over {
+			if prr <= 0 {
+				return
+			}
+		} else {
+			dist := src.pos.Distance(n.pos)
+			if dist >= m.params.RangeMax {
+				return
+			}
+			prr = m.prrAtDistance(dist)
 		}
 		// The receiver's radio is busy for the whole frame either way.
-		m.energy.Ledger(int(id)).Spend(metrics.StateRx, air)
-		tx.dels = append(tx.dels, delivery{to: id})
+		n.led.Spend(metrics.StateRx, air)
+		tx.dels = append(tx.dels, delivery{to: id, n: n})
 		d := &tx.dels[len(tx.dels)-1]
 		// Collision with other concurrently active frames audible here.
-		for _, other := range m.active {
-			if other.end > now && other.frame.Channel == f.Channel && m.audible(other.frame.From, id) {
+		for _, other := range near {
+			if m.txAudible(other, n) {
 				d.corrupted = true
 				m.cCollisions.Inc()
 				if other.frame.Tenant != f.Tenant {
@@ -457,15 +818,18 @@ func (m *Medium) Send(f Frame) time.Duration {
 			}
 		}
 		// Stochastic loss from link quality.
-		if !d.corrupted && m.k.Rand().Float64() >= m.PRR(f.From, id) {
+		if !d.corrupted && m.k.Rand().Float64() >= prr {
 			d.corrupted = true
 			m.cDropLoss.Inc()
 			m.rec.Emit(int32(id), trace.RadioLoss, int64(f.From), int64(f.Size), 0, payloadJourney(f.Payload))
 		}
-	}
+	})
 
 	m.active = append(m.active, tx)
 	m.k.Schedule(air, tx.completeFn)
+	if m.announce != nil {
+		m.announce(f, src.pos, now, now+air)
+	}
 	return air
 }
 
@@ -490,8 +854,8 @@ func (m *Medium) complete(tx *transmission) {
 	f := tx.frame
 	for i := range tx.dels {
 		d := &tx.dels[i]
-		n := m.nodes[d.to]
-		if n == nil || n.down || !n.listening || n.channel != f.Channel {
+		n := d.n
+		if n.down || !n.listening || n.channel != f.Channel {
 			// Receiver went away mid-frame.
 			m.cDropGone.Inc()
 			continue
@@ -520,7 +884,9 @@ func (m *Medium) complete(tx *transmission) {
 }
 
 // NeighborsOf returns the IDs of nodes within RangeMax of id, nearest
-// first.
+// first. Candidates come from the spatial index (any node within
+// RangeMax is in the 3×3 cell neighborhood); the full (distance, id)
+// sort makes the result independent of collection order.
 func (m *Medium) NeighborsOf(id NodeID) []NodeID {
 	src := m.mustNode(id)
 	type cand struct {
@@ -528,15 +894,14 @@ func (m *Medium) NeighborsOf(id NodeID) []NodeID {
 		d  float64
 	}
 	var cands []cand
-	for oid, n := range m.nodes {
-		if oid == id {
-			continue
+	m.forEachCandidate(src.pos, func(n *nodeState) {
+		if n.id == id {
+			return
 		}
-		d := src.pos.Distance(n.pos)
-		if d < m.params.RangeMax {
-			cands = append(cands, cand{oid, d})
+		if d := src.pos.Distance(n.pos); d < m.params.RangeMax {
+			cands = append(cands, cand{n.id, d})
 		}
-	}
+	})
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].d != cands[j].d {
 			return cands[i].d < cands[j].d

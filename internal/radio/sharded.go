@@ -1,0 +1,173 @@
+// Cross-shard transmission mirroring for sharded deployments.
+//
+// When one deployment is split over several kernels (sim.ShardGroup),
+// each shard owns a Medium holding only its own nodes. A transmission
+// near a shard boundary must also be heard by the neighbor shard's
+// nodes: the sending shard announces it (SetAnnounce hook, fired by
+// Send), the group's barrier carries the Announcement across, and the
+// receiving shard applies it as a "ghost" transmission — a foreign
+// sender known only by ID and position, fanned out to local receivers
+// with the local RNG, colliding symmetrically with local and other
+// foreign frames.
+//
+// Timing is exact for deliveries: the group's lookahead is the minimum
+// frame airtime, so the barrier that carries an announcement for a
+// frame sent at t falls no later than t + airtime — always at or
+// before the frame's own delivery instant — and the ghost's completion
+// is scheduled at the original End. Only carrier-sense and collision
+// visibility of cross-shard frames lags until the barrier; that lag is
+// part of the sharded model (DESIGN.md §9) and is identical at every
+// worker count, so results depend on the shard count (a model
+// parameter) but never on how many OS threads execute them.
+package radio
+
+import (
+	"iiotds/internal/metrics"
+	"iiotds/internal/sim"
+	"iiotds/internal/trace"
+)
+
+// Announcement describes a transmission to a medium that does not host
+// the sender. Payload is an owned copy of the frame bytes (the
+// sender-side netbuf is not shared across shards); it must not be
+// mutated after construction.
+type Announcement struct {
+	From    NodeID
+	To      NodeID
+	Pos     Position // sender position at Send time
+	Channel uint8
+	Tenant  string
+	Size    int
+	Start   sim.Time
+	End     sim.Time
+	Payload []byte // nil for payload-free control frames
+}
+
+// NewAnnouncement captures frame f sent from pos over [start, end] into
+// a self-contained Announcement, copying the payload bytes out of the
+// sender's pooled buffer.
+func NewAnnouncement(f Frame, pos Position, start, end sim.Time) Announcement {
+	a := Announcement{
+		From:    f.From,
+		To:      f.To,
+		Pos:     pos,
+		Channel: f.Channel,
+		Tenant:  f.Tenant,
+		Size:    f.Size,
+		Start:   start,
+		End:     end,
+	}
+	if f.Payload != nil {
+		a.Payload = append([]byte(nil), f.Payload.Bytes()...)
+	}
+	return a
+}
+
+// SetAnnounce installs the hook Send fires for every accepted
+// transmission (after local fan-out). The sharded deployment glue uses
+// it to post announcements toward neighbor shards; nil removes it.
+func (m *Medium) SetAnnounce(fn func(f Frame, pos Position, start, end sim.Time)) {
+	m.announce = fn
+}
+
+// ApplyForeign applies an announced cross-shard transmission to this
+// medium's nodes. It must run at a shard barrier (the group guarantees
+// barrier time ≤ a.End). The fan-out mirrors Send: candidates come
+// from the spatial index around the foreign position plus override
+// receivers, in ascending ID order; each audible receiver draws loss
+// from THIS medium's kernel RNG; overlapping local and foreign actives
+// collide both ways. Delivery completes at the original a.End, each
+// receiver getting its own pooled copy of the payload (journey IDs do
+// not cross shards: the copy carries journey 0).
+func (m *Medium) ApplyForeign(a Announcement) {
+	now := m.k.Now()
+	if a.End <= now {
+		// The announcement arrived after the frame ended (cannot happen
+		// under the group's lookahead discipline; guarded for safety).
+		return
+	}
+	air := a.End - a.Start
+
+	tx := m.getTx()
+	tx.frame = Frame{From: a.From, To: a.To, Channel: a.Channel, Tenant: a.Tenant, Size: a.Size}
+	if a.Payload != nil {
+		b := m.pool.Get()
+		b.Append(a.Payload)
+		tx.frame.Payload = b // flight reference, released in complete()
+	}
+	tx.start, tx.end = a.Start, a.End
+	tx.srcPos = a.Pos
+	tx.foreign = true
+	tx.epoch = m.posEpoch
+
+	// The ghost corrupts deliveries of frames already in flight here —
+	// local or previously applied foreign — exactly as a local Send
+	// would, pruned to the spatially near ones (nearActive).
+	near := m.nearActive(a.Pos, a.Channel, now)
+	for _, other := range near {
+		for i := range other.dels {
+			d := &other.dels[i]
+			if !d.corrupted && m.audibleAt(a.From, a.Pos, d.n) {
+				d.corrupted = true
+				m.cCollisions.Inc()
+				if other.frame.Tenant != a.Tenant {
+					m.cCollXTen.Inc()
+				}
+				m.rec.Emit(int32(d.to), trace.RadioCollision, int64(other.frame.From), int64(a.From), 0, payloadJourney(other.frame.Payload))
+			}
+		}
+	}
+
+	m.forEachCandidate(a.Pos, func(n *nodeState) {
+		id := n.id
+		if id == a.From || n.down || !n.listening || n.channel != a.Channel {
+			return
+		}
+		// Mirror of Send's inlined audibility + PRR: one distance
+		// computation, override map touched only when non-empty
+		// (identical decisions to foreignAudible/foreignPRR).
+		if m.filter != nil && !m.filter(a.From, id) {
+			return
+		}
+		prr, over := 0.0, false
+		if len(m.prrOver) > 0 {
+			prr, over = m.prrOver[[2]NodeID{a.From, id}]
+		}
+		if over {
+			if prr <= 0 {
+				return
+			}
+		} else {
+			dist := a.Pos.Distance(n.pos)
+			if dist >= m.params.RangeMax {
+				return
+			}
+			prr = m.prrAtDistance(dist)
+		}
+		n.led.Spend(metrics.StateRx, air)
+		tx.dels = append(tx.dels, delivery{to: id, n: n})
+		d := &tx.dels[len(tx.dels)-1]
+		for _, other := range near {
+			if m.txAudible(other, n) {
+				d.corrupted = true
+				m.cCollisions.Inc()
+				if other.frame.Tenant != a.Tenant {
+					m.cCollXTen.Inc()
+				}
+				// journey IDs do not cross shards; the owned copy's
+				// journey is 0, read off the buffer for the linter's
+				// benefit and for symmetry with Send.
+				m.rec.Emit(int32(id), trace.RadioCollision, int64(other.frame.From), int64(a.From), 0, payloadJourney(tx.frame.Payload))
+				break
+			}
+		}
+		if !d.corrupted && m.k.Rand().Float64() >= prr {
+			d.corrupted = true
+			m.cDropLoss.Inc()
+			m.rec.Emit(int32(id), trace.RadioLoss, int64(a.From), int64(a.Size), 0, payloadJourney(tx.frame.Payload))
+		}
+	})
+
+	m.active = append(m.active, tx)
+	m.k.At(a.End, tx.completeFn)
+}

@@ -41,24 +41,7 @@ func Build(spec Spec) *Built {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	positions := spec.Topo.Generate(spec.Seed)
-	labels := spec.Topo.Labels()
-
-	var profiles []core.Profile
-	topo := make(core.Topology, len(positions))
-	if len(spec.Profiles) > 0 {
-		profiles = spec.Profiles
-		for i, pos := range positions {
-			name := profiles[0].Name
-			if labels != nil {
-				name = labels[i]
-			}
-			topo[i] = core.NodeSpec{Pos: pos, Profile: name}
-		}
-	} else {
-		profiles, topo = classProfiles(spec, positions, labels)
-	}
-
+	profiles, topo := expand(spec)
 	d := core.NewStack(core.Stack{
 		Seed:          spec.Seed,
 		Profiles:      profiles,
@@ -67,6 +50,26 @@ func Build(spec Spec) *Built {
 		Factories:     spec.Factories,
 	})
 	return &Built{Spec: spec, D: d}
+}
+
+// expand generates the spec's topology and binds every node to a
+// profile — the shared front half of Build and BuildSharded. The spec
+// must already be canonical.
+func expand(spec Spec) ([]core.Profile, core.Topology) {
+	positions := spec.Topo.Generate(spec.Seed)
+	labels := spec.Topo.Labels()
+	if len(spec.Profiles) > 0 {
+		topo := make(core.Topology, len(positions))
+		for i, pos := range positions {
+			name := spec.Profiles[0].Name
+			if labels != nil {
+				name = labels[i]
+			}
+			topo[i] = core.NodeSpec{Pos: pos, Profile: name}
+		}
+		return spec.Profiles, topo
+	}
+	return classProfiles(spec, positions, labels)
 }
 
 // classProfiles expands the data-only Classes into core profiles and a
@@ -104,6 +107,53 @@ func classProfiles(spec Spec, positions radio.Topology, labels []string) ([]core
 		}
 	}
 	return profiles, topo
+}
+
+// BuiltSharded is a deployment constructed from a Spec onto the sharded
+// multi-kernel engine (DESIGN.md §9), plus the fault machinery once
+// armed. Fault callbacks run on the shard group's control timeline —
+// the barrier instants at which cross-stripe mutation is legal.
+type BuiltSharded struct {
+	Spec Spec
+	D    *core.ShardedDeployment
+
+	Ledger *fault.Ledger
+	Inj    *fault.Injector
+	Churn  *fault.Churn
+}
+
+// BuildSharded expands the spec like Build, but stripes the fleet over
+// the given number of simulation kernels. The stripe count is a model
+// parameter (it decides which frames cross a barrier); the worker count
+// (D.G.SetWorkers) is pure execution policy. Tracing is not supported
+// on the sharded engine, so specs carrying TraceCapacity panic in
+// core.NewShardedStack.
+func BuildSharded(spec Spec, stripes int) *BuiltSharded {
+	spec.applyDefaults()
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	profiles, topo := expand(spec)
+	sd := core.NewShardedStack(core.Stack{
+		Seed:          spec.Seed,
+		Profiles:      profiles,
+		Topology:      topo,
+		TraceCapacity: spec.TraceCapacity,
+		Factories:     spec.Factories,
+	}, stripes)
+	return &BuiltSharded{Spec: spec, D: sd}
+}
+
+// ArmFaults mirrors Built.ArmFaults on the sharded engine: ledger time
+// and fault scheduling come from the shard group, and the injector's
+// medium control fans to the owning stripe(s) through the deployment.
+func (b *BuiltSharded) ArmFaults() {
+	if !b.Spec.Faults.enabled() || b.Churn != nil {
+		return
+	}
+	b.Ledger = fault.NewLedger(b.D.G.Now())
+	b.Inj = fault.NewInjector(b.D.G, b.D, b.D, b.Ledger)
+	b.Churn = fault.NewChurn(b.Inj, ChurnSeed(b.Spec.Seed), b.Spec.Faults.ChurnConfig(b.Spec.Topo.Nodes()))
 }
 
 // ArmFaults creates the reliability ledger, fault injector, and churn

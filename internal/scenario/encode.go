@@ -104,7 +104,14 @@ func formatTopo(t TopoSpec) string {
 		return fmt.Sprintf("cluster:heads=%d:mem=%d:hs=%s:dy=%s:dx=%s",
 			t.Heads, t.Members, ff(t.HeadSpacing), ff(t.MemberDY), ff(t.MemberDX))
 	case TopoRGG:
-		return fmt.Sprintf("rgg:n=%d:area=%s:link=%s", t.N, ff(t.Area), ff(t.MaxLink))
+		s := fmt.Sprintf("rgg:n=%d:area=%s:link=%s", t.N, ff(t.Area), ff(t.MaxLink))
+		if t.Density > 0 {
+			// Density is recorded for provenance — the canonical spec
+			// already has Area filled from it, so replay does not depend
+			// on re-deriving the area.
+			s += ":dens=" + ff(t.Density)
+		}
+		return s
 	default:
 		return fmt.Sprintf("%s:n=%d:sp=%s", t.Kind, t.N, ff(t.Spacing))
 	}
@@ -260,7 +267,7 @@ func parseTopo(val string) (TopoSpec, error) {
 	case TopoCluster:
 		allowed = []string{"heads", "mem", "hs", "dy", "dx"}
 	case TopoRGG:
-		allowed = []string{"n", "area", "link"}
+		allowed = []string{"n", "area", "link", "dens"}
 	default:
 		allowed = []string{"n", "sp"}
 	}
@@ -289,6 +296,7 @@ func parseTopo(val string) (TopoSpec, error) {
 	getF("dy", &t.MemberDY)
 	getF("dx", &t.MemberDX)
 	getF("area", &t.Area)
+	getF("dens", &t.Density)
 	getF("link", &t.MaxLink)
 	if err != nil {
 		return TopoSpec{}, err

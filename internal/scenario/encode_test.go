@@ -44,6 +44,7 @@ func specFixtures() []Spec {
 			Faults: FaultSpec{Churn: NodeSel{Kind: "list", IDs: []int{1, 3, 5}}, MeanUp: 30 * time.Second, MinUp: 30 * time.Second, MeanDown: 5 * time.Second, MinDown: 5 * time.Second},
 		},
 		{Seed: 0, Topo: TopoSpec{Kind: TopoPipeline, N: 5}, Classes: []ClassSpec{{Kind: "rimac"}}},
+		{Seed: 15, Topo: TopoSpec{Kind: TopoRGG, N: 96, Density: 6}, Workload: WorkloadSpec{HeartbeatEvery: 15 * time.Second}},
 	}
 }
 

@@ -19,6 +19,7 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add("scn1;seed=1;topo=cluster:heads=3:mem=2;churn=even:up=30s:minup=20s:down=6s:mindown=5s")
 	f.Add("scn1;seed=2;topo=rgg:n=12:area=60:link=18;part=farhalf:every=2m0s:hold=10s")
 	f.Add("scn1;seed=3;topo=pipeline:n=5;flap=1-2:every=45s:prr=0.25;trace=-1")
+	f.Add("scn1;seed=4;topo=rgg:n=96:area=100:link=18:dens=6;hb=15s")
 	f.Fuzz(func(t *testing.T, in string) {
 		s, err := Parse(in)
 		if err != nil {

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"iiotds/internal/radio"
@@ -157,10 +159,85 @@ func TestTopoValidate(t *testing.T) {
 		{Kind: TopoCluster, Heads: 0},
 		{Kind: TopoGrid, N: 9, Spacing: -1},
 		{Kind: TopoRGG, N: 9, MaxLink: -2},
+		{Kind: TopoRGG, N: 131073},
+		{Kind: TopoRGG, N: 9, Density: -1},
 	}
 	for _, s := range bad {
+		s.applyDefaults()
 		if err := s.validate(); err == nil {
 			t.Errorf("%+v: validate accepted invalid spec", s)
 		}
+	}
+	// rgg alone scales past the structured generators' cap.
+	big := TopoSpec{Kind: TopoRGG, N: 131072}
+	big.applyDefaults()
+	if err := big.validate(); err != nil {
+		t.Errorf("rgg n=131072 should validate: %v", err)
+	}
+}
+
+// TestRGGGridMatchesBruteForce pins the grid acceleration to the
+// original O(N²) rejection loop: same RNG stream, same accept predicate,
+// therefore byte-identical placements. Any divergence would silently
+// re-layout every rgg scenario and experiment.
+func TestRGGGridMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{2, 16, 200} {
+		for seed := int64(0); seed < 5; seed++ {
+			ts := TopoSpec{Kind: TopoRGG, N: n}
+			ts.applyDefaults()
+			got := ts.rgg(seed)
+			rng := rand.New(rand.NewSource(seed ^ rggSeedMix))
+			want := radio.Topology{{X: ts.Area / 2, Y: ts.Area / 2}}
+			for len(want) < ts.N {
+				p := radio.Position{X: rng.Float64() * ts.Area, Y: rng.Float64() * ts.Area}
+				for _, q := range want {
+					if p.Distance(q) <= ts.MaxLink {
+						want = append(want, p)
+						break
+					}
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d seed=%d: position %d drifted: grid %v, brute %v", n, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRGGDensityArea pins the Density→Area derivation and its
+// precedence: an explicit Area always wins.
+func TestRGGDensityArea(t *testing.T) {
+	ts := TopoSpec{Kind: TopoRGG, N: 1000, Density: 6}
+	ts.applyDefaults()
+	want := ts.MaxLink * math.Sqrt(math.Pi*1000/6)
+	if math.Abs(ts.Area-want) > 1e-9 {
+		t.Fatalf("density-derived area = %v, want %v", ts.Area, want)
+	}
+	explicit := TopoSpec{Kind: TopoRGG, N: 100, Density: 6, Area: 123}
+	explicit.applyDefaults()
+	if explicit.Area != 123 {
+		t.Fatalf("explicit area overridden: %v", explicit.Area)
+	}
+	// The knob is monotone: a higher Density target yields a denser
+	// realized layout (the growth sampler clusters above the uniform
+	// target, but shrinking the area still packs nodes tighter).
+	meanDeg := func(d float64) float64 {
+		s := TopoSpec{Kind: TopoRGG, N: 500, Density: d}
+		s.applyDefaults()
+		topo := s.Generate(11)
+		var within int
+		for i, p := range topo {
+			for j, q := range topo {
+				if i != j && p.Distance(q) <= s.MaxLink {
+					within++
+				}
+			}
+		}
+		return float64(within) / float64(len(topo))
+	}
+	if lo, hi := meanDeg(6), meanDeg(96); lo >= hi {
+		t.Fatalf("density knob not monotone: deg(6)=%v >= deg(96)=%v", lo, hi)
 	}
 }

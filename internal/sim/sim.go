@@ -313,6 +313,35 @@ func (k *Kernel) RunUntil(t Time) {
 // RunFor is RunUntil(Now()+d).
 func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
 
+// RunBefore executes events with timestamps strictly before t, then
+// advances the clock to exactly t. It is the windowed-execution
+// primitive of the conservative shard scheduler (shard.go): a shard may
+// run freely up to — but not including — the next synchronization
+// barrier, so events AT the barrier instant run in the following window
+// after cross-shard handoffs have been applied.
+func (k *Kernel) RunBefore(t Time) {
+	k.stopped = false
+	for !k.stopped {
+		if k.queue.Len() == 0 || k.queue[0].at >= t {
+			break
+		}
+		k.Step()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// NextEventAt returns the timestamp of the earliest queued event, and
+// whether one exists. The shard scheduler uses it to size adaptive
+// synchronization windows without popping anything.
+func (k *Kernel) NextEventAt() (Time, bool) {
+	if k.queue.Len() == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
+}
+
 // Pending returns the number of queued events. Canceled events are
 // removed eagerly, so this counts only events that will still fire.
 func (k *Kernel) Pending() int { return k.queue.Len() }
