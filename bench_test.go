@@ -50,6 +50,7 @@ func BenchmarkE11Security(b *testing.B)        { benchExperiment(b, "E11") }
 func BenchmarkE13MixedFleet(b *testing.B)      { benchExperiment(b, "E13") }
 func BenchmarkE14ChurnSoak(b *testing.B)       { benchExperiment(b, "E14") }
 func BenchmarkE15CityScale(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16StoreIngest(b *testing.B)     { benchExperiment(b, "E16") }
 func BenchmarkF1ThreeTier(b *testing.B)        { benchExperiment(b, "F1") }
 
 // --- micro-benchmarks of the per-message hot paths ---

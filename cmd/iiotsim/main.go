@@ -20,11 +20,14 @@ import (
 	"time"
 
 	"iiotds/internal/agg"
+	"iiotds/internal/clock"
 	"iiotds/internal/core"
 	"iiotds/internal/fault"
+	"iiotds/internal/lowpan"
 	"iiotds/internal/radio"
 	"iiotds/internal/scenario"
 	"iiotds/internal/sim"
+	"iiotds/internal/store"
 	"iiotds/internal/trace"
 )
 
@@ -46,10 +49,12 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the deployment's flight-recorder events (JSONL) to this file")
 	traceCap := flag.Int("trace-capacity", 1<<16, "flight-recorder ring capacity (with -trace-out)")
 	traceNode := flag.Int("trace-node", unsetNode, "restrict -trace-out to one node ID (-1 = network-wide events)")
-	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to a comma-separated set of layers: radio, mac, link, rpl, coap, bus, fault")
+	traceLayer := flag.String("trace-layer", "", "restrict -trace-out to a comma-separated set of layers: radio, mac, link, rpl, coap, bus, fault, store")
 	metricsOut := flag.String("metrics-out", "", "write a Prometheus-text metrics snapshot to this file at the end")
 	scenarioSpec := flag.String("scenario", "", "replay a scenario reproducer string (scn1;...) instead of building from flags; exits 1 if an invariant is violated")
 	shards := flag.Int("shards", 1, "stripe the deployment over this many simulation kernels (DESIGN.md §9) and run them in parallel; the stripe count is a model parameter, so results are pinned per value")
+	storeShards := flag.Int("store-shards", 0, "attach a partitioned time-series store (DESIGN.md §10) at the border router with this many shards and ingest every node's reading each -epoch into it (0 = no storage tier)")
+	storeModeFlag := flag.String("store-mode", "ap", "replication mode for -store-shards: ap (CRDT + anti-entropy) or cp (quorum)")
 	flag.Parse()
 
 	// The export filter is shared by the flag-built and -scenario paths.
@@ -127,6 +132,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "iiotsim: -shards does not support -trace-out or -query (run with -query=false)")
 			os.Exit(2)
 		}
+		if *storeShards > 0 {
+			fmt.Fprintln(os.Stderr, "iiotsim: -store-shards needs the single-kernel engine (drop -shards)")
+			os.Exit(2)
+		}
 		runSharded(stack, *shards, *nodes, *kills, *duration)
 		return
 	}
@@ -190,6 +199,64 @@ func main() {
 		d.Root().Agg.RunQuery(agg.Query{ID: 1, Fn: agg.Avg, Attr: "temp", Epoch: *epoch, MaxDepth: 12})
 	}
 
+	// Storage tier: the border router fronts a partitioned store and every
+	// node pushes its reading up the DODAG each epoch (lowpan.ProtoIngest),
+	// batched into the shards through one appender — the same pipeline the
+	// scenario ingest workload and E16 drive.
+	var st *store.Sharded
+	var app *store.Appender
+	var ingestReps []*sim.Repeater
+	var ingestSent, ingestDelivered int
+	if *storeShards > 0 {
+		mode, err := store.ParseMode(*storeModeFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iiotsim: %v\n", err)
+			os.Exit(2)
+		}
+		if *nodes > 256 {
+			fmt.Fprintln(os.Stderr, "iiotsim: -store-shards ingest addresses nodes in one byte (max 256 nodes)")
+			os.Exit(2)
+		}
+		st = store.NewSharded(clock.Kernel{K: d.K}, store.ShardedConfig{
+			Shards:  *storeShards,
+			Policy:  store.ShardPolicy{Mode: mode, Replicas: 3},
+			Seed:    *seed,
+			Rec:     d.Trace,
+			Metrics: d.Reg,
+			Node:    -1,
+		})
+		defer st.Stop()
+		app = st.NewAppender()
+		names := make([]string, *nodes)
+		for i := range names {
+			names[i] = fmt.Sprintf("node/%d/temp", i)
+		}
+		d.Root().Router.Handle(lowpan.ProtoIngest, func(from radio.NodeID, payload []byte) {
+			if len(payload) != 2 || payload[0] != 0x16 {
+				return
+			}
+			i := int(payload[1])
+			if i <= 0 || i >= *nodes {
+				return
+			}
+			ingestDelivered++
+			app.Append(names[i], store.Point{T: time.Duration(d.K.Now()), V: 20 + float64(i%7)})
+		})
+		for i := 1; i < *nodes; i++ {
+			n := d.Nodes[i]
+			ingestReps = append(ingestReps, d.K.Every(*epoch, *epoch/4, func() {
+				if !n.Up() {
+					return
+				}
+				ingestSent++
+				_ = n.Router.SendUp(lowpan.ProtoIngest, []byte{0x16, byte(n.ID)})
+			}))
+		}
+		ingestReps = append(ingestReps, d.K.Every(*epoch, 0, func() { app.Flush() }))
+		fmt.Printf("store: %d shards × 3 replicas, %s mode, fed by %d nodes every %v\n",
+			*storeShards, mode, *nodes-1, *epoch)
+	}
+
 	d.K.RunFor(*duration)
 
 	// Report.
@@ -213,6 +280,18 @@ func main() {
 	worst, joules := d.M.Energy().MaxTotalJoules()
 	fmt.Printf("energy: mean %.2f J/node, worst node %d at %.2f J\n",
 		d.M.Energy().MeanTotalJoules(), worst, joules)
+	if st != nil {
+		// Stop producing, then let in-flight frames land, the final batch
+		// ack, and AP anti-entropy finish a round.
+		for _, r := range ingestReps {
+			r.Stop()
+		}
+		d.K.RunFor(2 * time.Second)
+		app.Flush()
+		d.K.RunFor(5 * time.Second)
+		fmt.Printf("store: %d/%d readings delivered, %d points ingested, batches acked=%d failed=%d, converged=%v\n",
+			ingestDelivered, ingestSent, st.Stats().TotalPoints(), app.Acked(), app.Failed(), st.Converged())
+	}
 
 	if *traceOut != "" {
 		if err := writeFileWith(*traceOut, func(w *os.File) error {
@@ -320,6 +399,10 @@ func runScenario(line, traceOut string, filter trace.Filter) {
 	fmt.Printf("churn: %d crashes, %d recoveries\n", res.Crashes, res.Recoveries)
 	fmt.Printf("workload: probes %d ok / %d failed, pushes %d/%d delivered, %d agg epochs, heartbeats %d ok / %d sent\n",
 		res.ProbeOK, res.ProbeFail, res.PushDelivered, res.Pushes, res.AggEpochs, res.HeartbeatOK, res.Heartbeats)
+	if res.IngestSent > 0 {
+		fmt.Printf("store: %d/%d readings delivered, batches acked=%d failed=%d, converged=%v\n",
+			res.IngestDelivered, res.IngestSent, res.IngestAcked, res.IngestFailed, res.StoreConverged)
+	}
 	if traceOut != "" {
 		if err := writeFileWith(traceOut, func(w *os.File) error {
 			return res.Trace.WriteJSONL(w, filter)
@@ -352,7 +435,7 @@ func parseLayers(spec string) ([]trace.Layer, error) {
 		}
 		l, ok := trace.ParseLayer(name)
 		if !ok {
-			return nil, fmt.Errorf("unknown layer %q (want radio, mac, link, rpl, coap, bus, or fault)", name)
+			return nil, fmt.Errorf("unknown layer %q (want radio, mac, link, rpl, coap, bus, fault, or store)", name)
 		}
 		layers = append(layers, l)
 	}

@@ -43,6 +43,8 @@ var protocolLayers = []string{
 	"internal/fault",
 	"internal/core",
 	"internal/scenario",
+	"internal/gossip",
+	"internal/store",
 }
 
 func main() {

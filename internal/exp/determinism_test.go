@@ -255,7 +255,7 @@ func TestStatsPopulated(t *testing.T) {
 	withKernels := map[string]bool{
 		"E2": true, "E3": true, "E4": true, "E5": true, "E6": true,
 		"E9": true, "E10": true, "E11": true, "E13": true, "E14": true,
-		"E15": true, "F1": true,
+		"E15": true, "E16": true, "F1": true,
 	}
 	for _, r := range All() {
 		tab := r.Run(Quick)

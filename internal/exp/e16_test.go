@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE16CAPDifferential pins E16's shape: every row recovers after the
+// heal, AP rows ack every batch, and CP rows lose writes for the span
+// of the coordinator partition — the availability split the experiment
+// exists to demonstrate.
+func TestE16CAPDifferential(t *testing.T) {
+	tab := E16StoreIngest(Quick)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows (2 modes × {1, sharded}), got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		mode, failed, recovered := row[0], row[3], row[5]
+		if recovered != "true" {
+			t.Errorf("%s %s: did not reconverge after heal", mode, row[1])
+		}
+		switch mode {
+		case "AP":
+			if failed != "0" {
+				t.Errorf("AP %s: %s batches failed; AP ingest must stay available under partition", row[1], failed)
+			}
+		case "CP":
+			if failed == "0" {
+				t.Errorf("CP %s: no batches failed; the coordinator partition never bit", row[1])
+			}
+		default:
+			t.Errorf("unknown mode cell %q", mode)
+		}
+	}
+}
+
+// TestE16Knobs exercises the -store-shards / -store-mode seams: the
+// shard knob renames the sharded rows, the mode knob halves the table,
+// and both are model parameters — each configuration reproduces itself
+// byte-identically.
+func TestE16Knobs(t *testing.T) {
+	SetStoreShards(4)
+	SetStoreMode("ap")
+	defer func() {
+		SetStoreShards(0)
+		SetStoreMode("")
+	}()
+	tab := E16StoreIngest(Quick)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("mode knob: expected 2 AP rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "AP" {
+			t.Errorf("mode knob leaked a %s row", row[0])
+		}
+	}
+	if tab.Rows[1][1] != "4×3" {
+		t.Errorf("shard knob: sharded row is %q, want 4×3", tab.Rows[1][1])
+	}
+	if again := E16StoreIngest(Quick); tab.String() != again.String() {
+		t.Error("knobbed table is not reproducible")
+	}
+	if !strings.Contains(tab.Notes["engine"], "shards=4") {
+		t.Errorf("engine note %q missing knob state", tab.Notes["engine"])
+	}
+}

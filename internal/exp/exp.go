@@ -131,6 +131,7 @@ func All() []Runner {
 		{"E13", E13MixedFleet},
 		{"E14", E14ChurnSoak},
 		{"E15", E15CityScale},
+		{"E16", E16StoreIngest},
 		{"F1", F1ThreeTier},
 	}
 }

@@ -11,7 +11,7 @@ import "testing"
 func TestRegistryAudit(t *testing.T) {
 	want := []string{
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"E11", "E13", "E14", "E15", "F1",
+		"E11", "E13", "E14", "E15", "E16", "F1",
 	}
 
 	all := All()

@@ -35,6 +35,10 @@ const (
 	// instrumentation never collides with application traffic. Proto 4 is
 	// taken by agg.ProtoAgg (declared in internal/agg).
 	ProtoScenario Proto = 5
+	// ProtoIngest carries telemetry readings bound for the storage tier:
+	// nodes push up the DODAG, the border router batches into the
+	// sharded time-series store (internal/store).
+	ProtoIngest Proto = 6
 )
 
 // Datagram is the network-layer unit routed end-to-end across the mesh.

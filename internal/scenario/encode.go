@@ -17,7 +17,8 @@ import (
 //
 //	scn1;seed=42;topo=grid:n=16:sp=15;classes=csma+lpl@250ms;coap=1;
 //	conv=3m0s;soak=2m0s;drain=1m0s;check=10s;probe=5s;push=10s;
-//	agg=10s;hb=15s;churn=odd:up=25s:minup=25s:down=5s:mindown=5s;
+//	agg=10s;hb=15s;ingest=5s;store=ap:shards=2:rep=3:part=30s:hold=20s;
+//	churn=odd:up=25s:minup=25s:down=5s:mindown=5s;
 //	flap=1-2:every=60s:prr=0.2;ge=5-8:pgb=0.1:pbg=0.3:bad=0.3:step=5s;
 //	part=farhalf:every=2m30s:hold=10s;trace=65536
 //
@@ -74,6 +75,15 @@ func Format(s Spec) string {
 	}
 	if d := s.Workload.HeartbeatEvery; d > 0 {
 		fmt.Fprintf(&b, ";hb=%s", d)
+	}
+	if d := s.Workload.IngestEvery; d > 0 {
+		fmt.Fprintf(&b, ";ingest=%s", d)
+		// The canonical spec always has the store section filled when
+		// ingest is on, so the field is written in full.
+		fmt.Fprintf(&b, ";store=%s:shards=%d:rep=%d", s.Store.Mode, s.Store.Shards, s.Store.Replicas)
+		if s.Store.PartHold > 0 {
+			fmt.Fprintf(&b, ":part=%s:hold=%s", s.Store.PartAt, s.Store.PartHold)
+		}
 	}
 	f := s.Faults
 	if f.Churn.Kind != "" {
@@ -181,6 +191,10 @@ func Parse(in string) (Spec, error) {
 			s.Workload.AggEpoch, err = parseDur(val)
 		case "hb":
 			s.Workload.HeartbeatEvery, err = parseDur(val)
+		case "ingest":
+			s.Workload.IngestEvery, err = parseDur(val)
+		case "store":
+			err = parseStore(val, &s.Store)
 		case "churn":
 			err = parseChurn(val, &s.Faults)
 		case "flap":
@@ -432,6 +446,39 @@ func parseGE(val string, f *FaultSpec) error {
 	}
 	f.GEStep, err = parsePeriod(kv["step"])
 	return err
+}
+
+// parseStore reads the store field (mode head, shard/replica counts,
+// optional partition episode) into the store spec.
+func parseStore(val string, st *StoreSpec) error {
+	head, kv, err := subfields(val, "shards", "rep", "part", "hold")
+	if err != nil {
+		return err
+	}
+	st.Mode = head
+	// Explicit zero must not be conflated with "unset" (which
+	// applyDefaults would fill), so non-positive counts fail here.
+	if kv["shards"] != "" {
+		if st.Shards, err = strconv.Atoi(kv["shards"]); err != nil || st.Shards < 1 {
+			return fmt.Errorf("scenario: bad store shards %q", kv["shards"])
+		}
+	}
+	if kv["rep"] != "" {
+		if st.Replicas, err = strconv.Atoi(kv["rep"]); err != nil || st.Replicas < 1 {
+			return fmt.Errorf("scenario: bad store replicas %q", kv["rep"])
+		}
+	}
+	if kv["part"] != "" {
+		if st.PartAt, err = parseDur(kv["part"]); err != nil {
+			return err
+		}
+	}
+	if kv["hold"] != "" {
+		if st.PartHold, err = parsePeriod(kv["hold"]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parsePart reads the partition field into the fault spec.

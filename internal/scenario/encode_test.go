@@ -45,6 +45,14 @@ func specFixtures() []Spec {
 		},
 		{Seed: 0, Topo: TopoSpec{Kind: TopoPipeline, N: 5}, Classes: []ClassSpec{{Kind: "rimac"}}},
 		{Seed: 15, Topo: TopoSpec{Kind: TopoRGG, N: 96, Density: 6}, Workload: WorkloadSpec{HeartbeatEvery: 15 * time.Second}},
+		{
+			Seed:     21,
+			Topo:     TopoSpec{Kind: TopoGrid, N: 9},
+			Workload: WorkloadSpec{IngestEvery: 5 * time.Second},
+			Store: StoreSpec{Mode: "cp", Shards: 4, Replicas: 3,
+				PartAt: 30 * time.Second, PartHold: 20 * time.Second},
+		},
+		{Seed: 22, Topo: TopoSpec{Kind: TopoGrid, N: 4}, Workload: WorkloadSpec{IngestEvery: 10 * time.Second}},
 	}
 }
 
@@ -88,6 +96,12 @@ func TestParseErrors(t *testing.T) {
 		"scn1;seed=1;topo=grid:n=9;ge=1-2:pgb=1.5:pbg=0.3:bad=0.3:step=5s", // p>1
 		"scn1;seed=1;topo=grid:n=9;churn=list(0.3):up=25s:down=5s",         // root in list
 		"scn1;seed=1;topo=grid:n=9;coap=yes",
+		"scn1;seed=1;topo=grid:n=9;store=ap:shards=2:rep=3",             // store without ingest
+		"scn1;seed=1;topo=grid:n=9;ingest=5s;store=xx:shards=2:rep=3",   // unknown mode
+		"scn1;seed=1;topo=grid:n=9;ingest=5s;store=ap:shards=0:rep=3",   // shards out of range
+		"scn1;seed=1;topo=grid:n=9;ingest=5s;store=ap:shards=2:rep=9",   // replicas out of range
+		"scn1;seed=1;topo=grid:n=9;ingest=5s;store=ap:hold=0s",          // zero episode hold
+		"scn1;seed=1;topo=grid:n=9;ingest=5s;store=ap:part=10m:hold=5s", // episode past soak
 	}
 	for _, in := range cases {
 		if _, err := Parse(in); err == nil {

@@ -43,6 +43,11 @@ import (
 //   - rejoin: after the drain phase, every churned node is back up and
 //     attached to the DODAG through a live parent — self-repair
 //     completed unattended. Checked at Finish.
+//   - store-converges: after the drain phase (and any scheduled
+//     storage-tier partition episode), every shard of the time-series
+//     store has all replicas reporting equal series digests — the
+//     acked ingest stream reached a single agreed history per shard.
+//     Fed by the ingest workload in run.go.
 //
 // Invariant names are stable identifiers: reproducer logs, shrinking,
 // and CI alerts reference them.
@@ -52,6 +57,7 @@ const (
 	InvAcyclic = "dodag-acyclic"
 	InvReplay  = "replay-monotone"
 	InvRejoin  = "rejoin"
+	InvStore   = "store-converges"
 )
 
 // Violation is one observed breach of an invariant.
@@ -183,6 +189,14 @@ func (c *checker) checkAcyclic(now time.Duration) {
 func (c *checker) replay(node int, detail string) {
 	c.add(Violation{
 		Invariant: InvReplay, At: time.Duration(c.d.K.Now()), Node: node, Detail: detail,
+	})
+}
+
+// storeDiverged records a store-converges violation (fed by the ingest
+// workload when the store's replicas disagree after the drain).
+func (c *checker) storeDiverged(detail string) {
+	c.add(Violation{
+		Invariant: InvStore, At: time.Duration(c.d.K.Now()), Node: -1, Detail: detail,
 	})
 }
 

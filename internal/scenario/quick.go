@@ -304,6 +304,14 @@ var shrinkSteps = []struct {
 		s.Workload.AggEpoch = 0
 		return true
 	}},
+	{"drop-ingest", func(s *Spec) bool {
+		if s.Workload.IngestEvery == 0 {
+			return false
+		}
+		s.Workload.IngestEvery = 0
+		s.Store = StoreSpec{}
+		return true
+	}},
 	{"drop-probe", func(s *Spec) bool {
 		if s.Workload.ProbeEvery == 0 {
 			return false

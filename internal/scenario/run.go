@@ -3,18 +3,27 @@ package scenario
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"time"
 
 	"iiotds/internal/agg"
+	"iiotds/internal/clock"
 	"iiotds/internal/coap"
 	"iiotds/internal/core"
 	"iiotds/internal/lowpan"
 	"iiotds/internal/radio"
 	"iiotds/internal/security"
 	"iiotds/internal/sim"
+	"iiotds/internal/store"
 	"iiotds/internal/trace"
 	"iiotds/internal/trial"
 )
+
+// storeSettle is how long the run lets the storage tier reconcile after
+// the final batch flush: several anti-entropy intervals (the sharded
+// store gossips every second by default), well past one push-pull round
+// per replica.
+const storeSettle = 5 * time.Second
 
 // Result summarizes one scenario run. Counters exist so tests and the
 // property harness can tell a vacuous pass (nothing happened) from a
@@ -34,6 +43,14 @@ type Result struct {
 	Pushes, PushDelivered   int
 	AggEpochs               int
 	Heartbeats, HeartbeatOK int
+	// Ingest workload counters: readings sent by nodes, delivered to
+	// the root, and batches acked/failed by the store tier.
+	IngestSent, IngestDelivered int
+	IngestAcked, IngestFailed   uint64
+	// StoreConverged reports whether every store shard's replicas held
+	// equal digests at the end of the run (also surfaced as the
+	// store-converges invariant).
+	StoreConverged bool
 	// Violations are the invariant breaches observed; empty means the
 	// run passed.
 	Violations []Violation
@@ -117,6 +134,62 @@ func Run(spec Spec, tr *trial.Trial) Result {
 		}
 	}
 
+	// --- ingest workload (feeds the store-converges invariant) ---
+	var st *store.Sharded
+	var app *store.Appender
+	if every := spec.Workload.IngestEvery; every > 0 {
+		mode, err := store.ParseMode(spec.Store.Mode)
+		if err != nil {
+			panic(err) // unreachable: Validate gates Run in every caller path
+		}
+		st = store.NewSharded(clock.Kernel{K: d.K}, store.ShardedConfig{
+			Shards: spec.Store.Shards,
+			Policy: store.ShardPolicy{Mode: mode, Replicas: spec.Store.Replicas},
+			Seed:   spec.Seed,
+			Rec:    d.Trace,
+			Node:   -1,
+		})
+		defer st.Stop()
+		app = st.NewAppender()
+		names := make([]string, len(d.Nodes))
+		for i := range names {
+			names[i] = fmt.Sprintf("node/%d/reading", i)
+		}
+		d.Root().Router.Handle(lowpan.ProtoIngest, func(src radio.NodeID, payload []byte) {
+			i := int(src)
+			if i <= 0 || i >= len(names) || len(payload) < 2 {
+				return
+			}
+			res.IngestDelivered++
+			app.Append(names[i], store.Point{T: time.Duration(d.K.Now()), V: float64(payload[1])})
+		})
+		for _, n := range d.Nodes[1:] {
+			n := n
+			stops = append(stops, d.K.Every(every, every/4, func() {
+				if !n.Up() {
+					return
+				}
+				res.IngestSent++
+				_ = n.Router.SendUp(lowpan.ProtoIngest, []byte{0x16, byte(n.ID)})
+			}))
+		}
+		// Drain partial batches periodically so readings replicate during
+		// the run rather than piling up at the end.
+		stops = append(stops, d.K.Every(spec.CheckEvery, 0, func() { app.Flush() }))
+		// Storage-tier partition episode: cut the last replica of every
+		// shard PartAt into the soak, heal PartHold later, and push a CP
+		// repair (AP shards reconverge via gossip on their own).
+		if spec.Store.PartHold > 0 {
+			d.K.At(d.K.Now()+sim.Time(spec.Store.PartAt), func() {
+				st.PartitionReplica(spec.Store.Replicas - 1)
+			})
+			d.K.At(d.K.Now()+sim.Time(spec.Store.PartAt+spec.Store.PartHold), func() {
+				st.Heal()
+				st.Repair()
+			})
+		}
+	}
+
 	// --- aggregation workload ---
 	if epoch := spec.Workload.AggEpoch; epoch > 0 {
 		for i, n := range d.Nodes[1:] {
@@ -192,6 +265,19 @@ func Run(spec Spec, tr *trial.Trial) Result {
 		res.Recoveries = b.Churn.Recoveries()
 	}
 	snap.Stop()
+
+	// --- store settle: flush the final partial batches, give the tier a
+	// few anti-entropy rounds to reconcile, and check convergence ---
+	if st != nil {
+		app.Flush()
+		d.K.RunFor(storeSettle)
+		res.IngestAcked, res.IngestFailed = app.Acked(), app.Failed()
+		res.StoreConverged = st.Converged()
+		if !res.StoreConverged {
+			chk.storeDiverged(fmt.Sprintf("%d/%d store shards converged after drain",
+				st.ConvergedShards(), st.NumShards()))
+		}
+	}
 
 	// The rejoin invariant only makes sense for fleets that attached in
 	// the first place: a node that never joined did not fail to

@@ -84,6 +84,46 @@ func TestRunHeterogeneousCluster(t *testing.T) {
 	}
 }
 
+// TestRunIngestStore drives the ingest workload into the sharded store
+// through a mid-soak storage-tier partition episode, in both replication
+// modes. The run must stay violation-free (store-converges holds after
+// heal + drain) and the counters must prove the pipeline was exercised
+// end to end: readings left the mesh, reached the root, and were acked
+// by the store.
+func TestRunIngestStore(t *testing.T) {
+	for _, mode := range []string{"ap", "cp"} {
+		t.Run(mode, func(t *testing.T) {
+			spec := Spec{
+				Seed:     9,
+				Topo:     TopoSpec{Kind: TopoGrid, N: 9},
+				Soak:     60 * time.Second,
+				Workload: WorkloadSpec{IngestEvery: 2 * time.Second},
+				Store: StoreSpec{
+					Mode: mode, Shards: 2, Replicas: 3,
+					PartAt: 20 * time.Second, PartHold: 20 * time.Second,
+				},
+			}
+			r := Run(spec, nil)
+			if !r.Converged {
+				t.Fatal("fleet did not converge")
+			}
+			for _, v := range r.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if r.IngestSent == 0 || r.IngestDelivered == 0 || r.IngestAcked == 0 {
+				t.Errorf("ingest pipeline idle: sent=%d delivered=%d acked=%d",
+					r.IngestSent, r.IngestDelivered, r.IngestAcked)
+			}
+			if r.IngestFailed != 0 {
+				t.Errorf("%d ingest batches failed", r.IngestFailed)
+			}
+			if !r.StoreConverged {
+				t.Error("store replicas did not converge after the partition episode")
+			}
+		})
+	}
+}
+
 // TestReplayBugCaught reintroduces the reuse-old-session-after-reboot
 // bug family (the PR 5 state-reset class: volatile counters lost in a
 // crash while the peer's window survives) and proves the

@@ -25,6 +25,7 @@ import (
 	"iiotds/internal/core"
 	"iiotds/internal/fault"
 	"iiotds/internal/radio"
+	"iiotds/internal/store"
 )
 
 // ClassSpec names one device class by MAC discipline. It is the
@@ -66,7 +67,36 @@ type WorkloadSpec struct {
 	// heartbeat to the root — the traffic the replay-monotone invariant
 	// observes across reboots.
 	HeartbeatEvery time.Duration
+	// IngestEvery has every non-root node push a telemetry reading to
+	// the root, where it is batched into the sharded time-series store
+	// (Spec.Store) — the gateway→storage fan-in the store-converges
+	// invariant observes.
+	IngestEvery time.Duration
 }
+
+// StoreSpec configures the data-storage tier behind the ingest
+// workload: a partitioned, replicated time-series store at the root.
+// It is only meaningful when WorkloadSpec.IngestEvery is set; defaults
+// (2 shards × 3 replicas, AP) are applied then.
+type StoreSpec struct {
+	// Shards is the partition count P (default 2).
+	Shards int
+	// Replicas is the replication factor R per shard (default 3).
+	Replicas int
+	// Mode is the per-shard consistency policy: "ap" (CRDT +
+	// anti-entropy, the default) or "cp" (quorum).
+	Mode string
+	// PartAt/PartHold schedule a storage-tier partition episode: PartAt
+	// into the soak phase, the last replica of every shard is cut off
+	// for PartHold, then healed (with a CP repair push). The episode
+	// must complete within the soak so the store can reconverge before
+	// the invariant check. Zero PartHold disables the episode.
+	PartAt, PartHold time.Duration
+}
+
+// enabled reports whether the store tier runs (it exists to serve the
+// ingest workload).
+func (st StoreSpec) enabled(w WorkloadSpec) bool { return w.IngestEvery > 0 }
 
 // NodeSel selects a node subset by rule, so a fault schedule stays a
 // few bytes of data at any fleet size.
@@ -254,6 +284,8 @@ type Spec struct {
 	// Workload and Faults schedule the run's traffic and fault load.
 	Workload WorkloadSpec
 	Faults   FaultSpec
+	// Store configures the storage tier the ingest workload feeds.
+	Store StoreSpec
 	// TraceCapacity sizes the flight-recorder ring (0 = the process
 	// default, negative = tracing disabled). Run raises a zero value to
 	// a scenario default because the invariant checker reads the trace.
@@ -284,6 +316,17 @@ func (s *Spec) applyDefaults() {
 	if s.CheckEvery == 0 {
 		s.CheckEvery = 10 * time.Second
 	}
+	if s.Store.enabled(s.Workload) {
+		if s.Store.Shards == 0 {
+			s.Store.Shards = 2
+		}
+		if s.Store.Replicas == 0 {
+			s.Store.Replicas = 3
+		}
+		if s.Store.Mode == "" {
+			s.Store.Mode = "ap"
+		}
+	}
 }
 
 // Validate reports the first structural error in the spec. Defaults are
@@ -306,6 +349,7 @@ func (s Spec) Validate() error {
 		s.Converge, s.Soak, s.Drain, s.CheckEvery,
 		s.Workload.ProbeEvery, s.Workload.PushEvery,
 		s.Workload.AggEpoch, s.Workload.HeartbeatEvery,
+		s.Workload.IngestEvery, s.Store.PartAt, s.Store.PartHold,
 	} {
 		if d < 0 {
 			return fmt.Errorf("scenario: negative duration in spec")
@@ -314,5 +358,31 @@ func (s Spec) Validate() error {
 	if s.Workload.ProbeEvery > 0 && !s.WithCoAP {
 		return fmt.Errorf("scenario: probe workload requires WithCoAP")
 	}
+	if err := s.Store.validate(s.Workload, s.Soak); err != nil {
+		return err
+	}
 	return s.Faults.validate(n)
+}
+
+// validate checks the store section against the workload and soak.
+func (st StoreSpec) validate(w WorkloadSpec, soak time.Duration) error {
+	if !st.enabled(w) {
+		if st != (StoreSpec{}) {
+			return fmt.Errorf("scenario: store section requires the ingest workload")
+		}
+		return nil
+	}
+	if st.Shards < 1 || st.Shards > 64 {
+		return fmt.Errorf("scenario: store shards %d out of [1,64]", st.Shards)
+	}
+	if st.Replicas < 1 || st.Replicas > 7 {
+		return fmt.Errorf("scenario: store replicas %d out of [1,7]", st.Replicas)
+	}
+	if _, err := store.ParseMode(st.Mode); err != nil {
+		return err
+	}
+	if st.PartHold > 0 && st.PartAt+st.PartHold >= soak {
+		return fmt.Errorf("scenario: store partition episode must end within the soak phase")
+	}
+	return nil
 }

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineAppendRangeAcrossSegments(t *testing.T) {
+	e := NewSeriesEngine(4) // tiny segments: closes every 4 points
+	for i := 0; i < 10; i++ {
+		e.Append(Point{T: secs(i), V: float64(i)})
+	}
+	if e.Len() != 10 || e.Total() != 10 {
+		t.Fatalf("Len/Total = %d/%d", e.Len(), e.Total())
+	}
+	st := e.Stats()
+	if st.ClosedSegs != 2 || st.OpenPoints != 2 {
+		t.Fatalf("segments: %+v", st)
+	}
+	got := e.Range(secs(3), secs(8)) // spans closed/closed/open
+	if len(got) != 5 {
+		t.Fatalf("range = %d points", len(got))
+	}
+	for i, p := range got {
+		if p.V != float64(i+3) {
+			t.Fatalf("range[%d] = %+v", i, p)
+		}
+	}
+}
+
+func TestEngineOutOfOrderCountedAndSorted(t *testing.T) {
+	e := NewSeriesEngine(4)
+	times := []int{1, 2, 5, 3, 4, 8, 6, 7} // late arrivals: 3, 4 (after 5) and 6, 7 (after 8)
+	for _, i := range times {
+		e.Append(Point{T: secs(i), V: float64(i)})
+	}
+	if e.OutOfOrder() != 4 {
+		t.Fatalf("OutOfOrder = %d, want 4", e.OutOfOrder())
+	}
+	got := e.Range(0, time.Hour)
+	for i, p := range got {
+		if p.T != secs(i+1) {
+			t.Fatalf("range not time-sorted at %d: %+v", i, got)
+		}
+	}
+}
+
+func TestEngineEqualTimestampsKeepArrivalOrder(t *testing.T) {
+	e := NewSeriesEngine(3)
+	for i := 0; i < 7; i++ {
+		e.Append(Point{T: secs(1), V: float64(i)}) // all equal T
+	}
+	got := e.Range(0, time.Hour)
+	for i, p := range got {
+		if p.V != float64(i) {
+			t.Fatalf("equal-T arrival order broken: %+v", got)
+		}
+	}
+}
+
+func TestEngineFlushClosesHead(t *testing.T) {
+	e := NewSeriesEngine(100)
+	e.Append(Point{T: secs(1), V: 1})
+	e.Append(Point{T: secs(2), V: 2})
+	if st := e.Stats(); st.OpenPoints != 2 || st.ClosedSegs != 0 {
+		t.Fatalf("pre-flush: %+v", st)
+	}
+	e.Flush()
+	if st := e.Stats(); st.OpenPoints != 0 || st.ClosedSegs != 1 {
+		t.Fatalf("post-flush: %+v", st)
+	}
+	if got := e.Range(0, time.Hour); len(got) != 2 {
+		t.Fatalf("post-flush range = %+v", got)
+	}
+}
+
+func TestEngineSizeTieredCompaction(t *testing.T) {
+	e := NewSeriesEngine(2)
+	// 2*compactFanIn segments of 2 points each: one compaction fires.
+	for i := 0; i < 2*2*compactFanIn; i++ {
+		e.Append(Point{T: secs(i), V: float64(i)})
+	}
+	st := e.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d closes: %+v", st.SegsClosed, st)
+	}
+	if st.ClosedSegs >= int(st.SegsClosed) {
+		t.Fatalf("compaction did not shrink segment count: %+v", st)
+	}
+	if e.Len() != 2*2*compactFanIn {
+		t.Fatalf("points lost in compaction: %d", e.Len())
+	}
+}
+
+func TestEngineForceCompact(t *testing.T) {
+	e := NewSeriesEngine(2)
+	for i := 0; i < 10; i++ {
+		e.Append(Point{T: secs(i), V: float64(i)})
+	}
+	e.Flush()
+	e.Compact()
+	if st := e.Stats(); st.ClosedSegs != 1 {
+		t.Fatalf("Compact left %d segments", st.ClosedSegs)
+	}
+	if e.Len() != 10 {
+		t.Fatalf("Len = %d after Compact", e.Len())
+	}
+}
+
+func TestEngineRetention(t *testing.T) {
+	e := NewSeriesEngine(2)
+	e.SetRetention(2) // keep at most 2 closed segments
+	for i := 0; i < 12; i++ {
+		e.Append(Point{T: secs(i), V: float64(i)})
+	}
+	st := e.Stats()
+	if st.ClosedSegs > 2 {
+		t.Fatalf("retention not enforced: %+v", st)
+	}
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions recorded: %+v", st)
+	}
+	if e.Len()+int(st.Evicted) != 12 {
+		t.Fatalf("retained %d + evicted %d != 12", e.Len(), st.Evicted)
+	}
+	// The newest points survive.
+	got := e.Range(0, time.Hour)
+	if got[len(got)-1].V != 11 {
+		t.Fatalf("newest point evicted: %+v", got)
+	}
+}
+
+func TestEngineDigestSegmentationIndependent(t *testing.T) {
+	// Same points, different close/compact timing -> same digest.
+	a := NewSeriesEngine(4)
+	b := NewSeriesEngine(64)
+	for i := 0; i < 50; i++ {
+		p := Point{T: secs(i), V: float64(i)}
+		a.Append(p)
+		b.Append(p)
+	}
+	a.Flush()
+	a.Compact()
+	if da, db := a.digest(fnvOffset), b.digest(fnvOffset); da != db {
+		t.Fatalf("digest depends on segmentation: %x != %x", da, db)
+	}
+	b.Append(Point{T: secs(50), V: 50})
+	if da, db := a.digest(fnvOffset), b.digest(fnvOffset); da == db {
+		t.Fatal("digest blind to extra point")
+	}
+}
+
+// TestBatchedAppendZeroAllocs is the CI allocation gate for the ingest
+// hot path: appending batches into an open head (no segment close in
+// the measured window) must not allocate. Closing a segment is the
+// amortized slow path — encode buffer and segment bytes — exactly like
+// the netbuf pool refill.
+func TestBatchedAppendZeroAllocs(t *testing.T) {
+	e := NewSeriesEngine(1 << 20)
+	batch := make([]Point, 16)
+	var tm time.Duration
+	fill := func() {
+		for i := range batch {
+			tm += time.Millisecond
+			batch[i] = Point{T: tm, V: float64(i)}
+		}
+	}
+	fill()
+	e.AppendBatch(batch) // touch once so the head exists
+	allocs := testing.AllocsPerRun(1000, func() {
+		fill()
+		e.AppendBatch(batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendBatch allocs/op = %v, want 0", allocs)
+	}
+}
+
+func BenchmarkAppendBatch(b *testing.B) {
+	e := NewSeriesEngine(0)
+	batch := make([]Point, 64)
+	var tm time.Duration
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			tm += time.Millisecond
+			batch[j] = Point{T: tm, V: float64(j)}
+		}
+		e.AppendBatch(batch)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,6 +37,17 @@ func (m Mode) String() string {
 	return "AP"
 }
 
+// ParseMode parses "cp"/"CP" or "ap"/"AP".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "cp", "CP":
+		return ModeCP, nil
+	case "ap", "AP":
+		return ModeAP, nil
+	}
+	return ModeCP, fmt.Errorf("store: unknown mode %q (want cp or ap)", s)
+}
+
 // ErrUnavailable is returned by CP operations that cannot reach a quorum
 // — Brewer's CAP trade-off made concrete (paper ref [43]).
 var ErrUnavailable = errors.New("store: quorum unavailable")
@@ -49,6 +61,12 @@ type ReplicaConfig struct {
 	QuorumTimeout time.Duration
 	// Gossip tunes AP anti-entropy.
 	Gossip gossip.Config
+	// Codec selects the CP wire encoding (default CodecBinary;
+	// CodecJSON is the debug option).
+	Codec Codec
+	// SegmentSize is the series-engine points-per-segment
+	// (0 = DefaultSegmentSize).
+	SegmentSize int
 }
 
 func (c *ReplicaConfig) applyDefaults() {
@@ -60,20 +78,27 @@ func (c *ReplicaConfig) applyDefaults() {
 	}
 }
 
+// Time bounds wide enough to cover any retained point; used for
+// whole-series ranges (sync, digests).
+const (
+	minTime = time.Duration(-1 << 62)
+	maxTime = time.Duration(1 << 62)
+)
+
 // versioned is a CP-mode stored value.
 type versioned struct {
 	Val []byte `json:"val"`
 	Ver uint64 `json:"ver"`
 }
 
-// rpc is the CP wire format.
-type rpc struct {
-	Kind  string `json:"kind"` // write | write_ack | read | read_reply
-	ReqID uint64 `json:"req_id"`
-	Key   string `json:"key"`
-	Val   []byte `json:"val,omitempty"`
-	Ver   uint64 `json:"ver"`
-	OK    bool   `json:"ok"`
+// cpSeries is one CP-mode time series: version = accepted append
+// batches from the series' single coordinator (Sharded routes every
+// append for a series through replica 0 of its shard, so versions are
+// totally ordered and a gap can only mean a missed batch across a
+// partition — which triggers a full-series sync).
+type cpSeries struct {
+	ver uint64
+	eng *SeriesEngine
 }
 
 // pendingOp collects quorum responses.
@@ -82,32 +107,96 @@ type pendingOp struct {
 	acks    int
 	bestVer uint64
 	bestVal []byte
+	bestPts []Point
 	done    func(val []byte, err error)
+	donePts func(pts []Point, err error)
 	cancel  clock.CancelFunc
 }
 
-// apState is the AP-mode CRDT map; it implements gossip.State.
+func (op *pendingOp) complete(err error) {
+	if op.donePts != nil {
+		op.donePts(op.bestPts, err)
+		return
+	}
+	op.done(op.bestVal, err)
+}
+
+// apState is the AP-mode CRDT state; it implements gossip.State. KV
+// keys are LWW registers (as before); time series are per-origin
+// grow-only append logs — each origin's log is an immutable-prefix
+// sequence, so anti-entropy merge is "adopt the remote suffix when the
+// remote log is longer", which is commutative, associative, and
+// idempotent (re-delivered snapshots add nothing). A per-series
+// SeriesEngine holds the merged view for range queries.
 type apState struct {
-	mu   sync.Mutex
-	regs map[string]*crdt.LWWRegister
+	mu      sync.Mutex
+	regs    map[string]*crdt.LWWRegister
+	logs    map[string]map[crdt.ReplicaID][]Point
+	eng     map[string]*SeriesEngine
+	segSize int
+	onMerge func(series string, added int)
+}
+
+// apSnapshot is the anti-entropy wire shape.
+type apSnapshot struct {
+	Regs   map[string]*crdt.LWWRegister         `json:"regs"`
+	Series map[string]map[crdt.ReplicaID][]byte `json:"series,omitempty"`
+}
+
+func (s *apState) engineLocked(name string) *SeriesEngine {
+	eng, ok := s.eng[name]
+	if !ok {
+		eng = NewSeriesEngine(s.segSize)
+		s.eng[name] = eng
+	}
+	return eng
+}
+
+func (s *apState) appendLocal(origin crdt.ReplicaID, series string, pts []Point) {
+	s.mu.Lock()
+	origins, ok := s.logs[series]
+	if !ok {
+		origins = make(map[crdt.ReplicaID][]Point)
+		s.logs[series] = origins
+	}
+	origins[origin] = append(origins[origin], pts...)
+	s.engineLocked(series).AppendBatch(pts)
+	s.mu.Unlock()
 }
 
 // Snapshot implements gossip.State.
 func (s *apState) Snapshot() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return json.Marshal(s.regs)
+	snap := apSnapshot{Regs: s.regs}
+	if len(s.logs) > 0 {
+		snap.Series = make(map[string]map[crdt.ReplicaID][]byte, len(s.logs))
+		for name, origins := range s.logs {
+			m := make(map[crdt.ReplicaID][]byte, len(origins))
+			for id, pts := range origins {
+				m[id] = appendPoints(nil, pts)
+			}
+			snap.Series[name] = m
+		}
+	}
+	return json.Marshal(snap)
 }
 
-// Merge implements gossip.State.
+// Merge implements gossip.State. Series and origins are merged in
+// sorted order so the merged engines — and everything derived from
+// them — are deterministic run to run.
 func (s *apState) Merge(remote []byte) error {
-	var in map[string]*crdt.LWWRegister
+	var in apSnapshot
 	if err := json.Unmarshal(remote, &in); err != nil {
 		return err
 	}
+	type mergeNote struct {
+		series string
+		added  int
+	}
+	var notes []mergeNote
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for k, r := range in {
+	for k, r := range in.Regs {
 		cur, ok := s.regs[k]
 		if !ok {
 			cur = crdt.NewLWWRegister()
@@ -115,10 +204,56 @@ func (s *apState) Merge(remote []byte) error {
 		}
 		cur.Merge(r)
 	}
+	names := make([]string, 0, len(in.Series))
+	for name := range in.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		remOrigins := in.Series[name]
+		ids := make([]string, 0, len(remOrigins))
+		for id := range remOrigins {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		added := 0
+		for _, ids := range ids {
+			id := crdt.ReplicaID(ids)
+			pts, _, err := decodePoints(nil, remOrigins[id])
+			if err != nil {
+				continue // corrupt origin stream: skip, keep the rest
+			}
+			local := s.logs[name][id]
+			if len(pts) <= len(local) {
+				continue // prefix already known — idempotent re-delivery
+			}
+			suffix := pts[len(local):]
+			origins, ok := s.logs[name]
+			if !ok {
+				origins = make(map[crdt.ReplicaID][]Point)
+				s.logs[name] = origins
+			}
+			origins[id] = append(local, suffix...)
+			s.engineLocked(name).AppendBatch(suffix)
+			added += len(suffix)
+		}
+		if added > 0 {
+			notes = append(notes, mergeNote{series: name, added: added})
+		}
+	}
+	hook := s.onMerge
+	s.mu.Unlock()
+	if hook != nil {
+		for _, n := range notes {
+			hook(n.series, n.added)
+		}
+	}
 	return nil
 }
 
-// Replica is one node of the replicated key-value store.
+// Replica is one node of the replicated store: a key-value map (the
+// original E9 surface) plus the partitioned time-series ingest surface
+// (AppendPoints/RangeSeries) the sharded store builds on.
 type Replica struct {
 	cfg   ReplicaConfig
 	msg   gossip.Messenger
@@ -127,6 +262,7 @@ type Replica struct {
 
 	mu      sync.Mutex
 	cp      map[string]versioned
+	cpTS    map[string]*cpSeries
 	ap      *apState
 	engine  *gossip.Engine
 	nextReq uint64
@@ -141,12 +277,18 @@ type Replica struct {
 func NewReplica(msg gossip.Messenger, sched clock.Scheduler, cfg ReplicaConfig) *Replica {
 	cfg.applyDefaults()
 	r := &Replica{
-		cfg:     cfg,
-		msg:     msg,
-		sched:   sched,
-		id:      crdt.ReplicaID(msg.Self()),
-		cp:      make(map[string]versioned),
-		ap:      &apState{regs: make(map[string]*crdt.LWWRegister)},
+		cfg:   cfg,
+		msg:   msg,
+		sched: sched,
+		id:    crdt.ReplicaID(msg.Self()),
+		cp:    make(map[string]versioned),
+		cpTS:  make(map[string]*cpSeries),
+		ap: &apState{
+			regs:    make(map[string]*crdt.LWWRegister),
+			logs:    make(map[string]map[crdt.ReplicaID][]Point),
+			eng:     make(map[string]*SeriesEngine),
+			segSize: cfg.SegmentSize,
+		},
 		pending: make(map[uint64]*pendingOp),
 	}
 	if cfg.Mode == ModeAP {
@@ -171,8 +313,39 @@ func (r *Replica) Mode() Mode { return r.cfg.Mode }
 // Gossip returns the AP anti-entropy engine (nil in CP mode).
 func (r *Replica) Gossip() *gossip.Engine { return r.engine }
 
+// SetMergeHook registers fn to be called after anti-entropy merges
+// points into a series (AP mode only; added is the merged point count).
+// The sharded store uses it to emit trace events and metrics.
+func (r *Replica) SetMergeHook(fn func(series string, added int)) {
+	r.ap.mu.Lock()
+	r.ap.onMerge = fn
+	r.ap.mu.Unlock()
+}
+
 // quorum returns the majority size for the configured cluster.
 func (r *Replica) quorum() int { return r.cfg.ClusterSize/2 + 1 }
+
+// broadcast sends m to every peer under the configured codec.
+func (r *Replica) broadcast(m *rpc) {
+	data, release, err := marshalRPC(r.cfg.Codec, m)
+	if err != nil {
+		return
+	}
+	for _, p := range r.msg.Peers() {
+		_ = r.msg.Send(p, data)
+	}
+	release()
+}
+
+// send sends m to one peer under the configured codec.
+func (r *Replica) send(to string, m *rpc) {
+	data, release, err := marshalRPC(r.cfg.Codec, m)
+	if err != nil {
+		return
+	}
+	_ = r.msg.Send(to, data)
+	release()
+}
 
 // Put stores key=val. done receives nil on success or ErrUnavailable.
 func (r *Replica) Put(key string, val []byte, done func(err error)) {
@@ -217,10 +390,7 @@ func (r *Replica) Put(key string, val []byte, done func(err error)) {
 	op.cancel = r.sched.Schedule(r.cfg.QuorumTimeout, func() { r.timeoutOp(reqID) })
 	r.mu.Unlock()
 
-	out, _ := json.Marshal(rpc{Kind: "write", ReqID: reqID, Key: key, Val: val, Ver: ver})
-	for _, p := range r.msg.Peers() {
-		_ = r.msg.Send(p, out)
-	}
+	r.broadcast(&rpc{Kind: kindWrite, ReqID: reqID, Key: key, Val: val, Ver: ver})
 }
 
 // Get reads key. done receives the value (nil if absent) or
@@ -263,9 +433,147 @@ func (r *Replica) Get(key string, done func(val []byte, err error)) {
 	op.cancel = r.sched.Schedule(r.cfg.QuorumTimeout, func() { r.timeoutOp(reqID) })
 	r.mu.Unlock()
 
-	out, _ := json.Marshal(rpc{Kind: "read", ReqID: reqID, Key: key})
-	for _, p := range r.msg.Peers() {
-		_ = r.msg.Send(p, out)
+	r.broadcast(&rpc{Kind: kindRead, ReqID: reqID, Key: key})
+}
+
+// cpSeriesLocked returns (creating if needed) the CP state for series.
+// Caller holds r.mu.
+func (r *Replica) cpSeriesLocked(series string) *cpSeries {
+	st, ok := r.cpTS[series]
+	if !ok {
+		st = &cpSeries{eng: NewSeriesEngine(r.cfg.SegmentSize)}
+		r.cpTS[series] = st
+	}
+	return st
+}
+
+// AppendPoints ingests a batch into series. In AP mode the batch lands
+// in this replica's origin log (gossip spreads it); in CP mode it is
+// applied locally and quorum-acknowledged — done receives
+// ErrUnavailable when a majority cannot be reached. CP appends for a
+// given series must all originate at one coordinator replica (the
+// sharded store routes them through replica 0 of the owning shard).
+// The batch is not retained.
+func (r *Replica) AppendPoints(series string, pts []Point, done func(err error)) {
+	if len(pts) == 0 {
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	if r.cfg.Mode == ModeAP {
+		r.ap.appendLocal(r.id, series, pts)
+		r.mu.Lock()
+		r.OpsOK++
+		r.mu.Unlock()
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	r.mu.Lock()
+	st := r.cpSeriesLocked(series)
+	st.ver++
+	ver := st.ver
+	st.eng.AppendBatch(pts)
+	needed := r.quorum() - 1
+	if needed <= 0 { // single replica: no quorum round, no op allocation
+		r.mu.Unlock()
+		r.finishOp(true)
+		if done != nil {
+			done(nil)
+		}
+		return
+	}
+	r.nextReq++
+	reqID := r.nextReq
+	op := &pendingOp{needed: needed, done: func(_ []byte, err error) {
+		r.finishOp(err == nil)
+		if done != nil {
+			done(err)
+		}
+	}}
+	r.pending[reqID] = op
+	op.cancel = r.sched.Schedule(r.cfg.QuorumTimeout, func() { r.timeoutOp(reqID) })
+	r.mu.Unlock()
+
+	r.broadcast(&rpc{Kind: kindAppend, ReqID: reqID, Key: series, Ver: ver, Pts: pts})
+}
+
+// RangeSeries reads the points with from <= T < to. In AP mode the
+// local merged view answers immediately; in CP mode a quorum is read
+// and the freshest replica's answer (highest series version) wins —
+// done receives ErrUnavailable when a majority cannot be reached.
+func (r *Replica) RangeSeries(series string, from, to time.Duration, done func(pts []Point, err error)) {
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		var pts []Point
+		if eng, ok := r.ap.eng[series]; ok {
+			pts = eng.Range(from, to)
+		}
+		r.ap.mu.Unlock()
+		r.mu.Lock()
+		r.OpsOK++
+		r.mu.Unlock()
+		done(pts, nil)
+		return
+	}
+	r.mu.Lock()
+	r.nextReq++
+	reqID := r.nextReq
+	st := r.cpSeriesLocked(series)
+	op := &pendingOp{
+		needed:  r.quorum() - 1,
+		bestVer: st.ver,
+		bestPts: st.eng.Range(from, to),
+		donePts: func(pts []Point, err error) {
+			r.finishOp(err == nil)
+			done(pts, err)
+		},
+	}
+	if op.needed <= 0 {
+		local := op.bestPts
+		delete(r.pending, reqID)
+		r.mu.Unlock()
+		r.finishOp(true)
+		done(local, nil)
+		return
+	}
+	r.pending[reqID] = op
+	op.cancel = r.sched.Schedule(r.cfg.QuorumTimeout, func() { r.timeoutOp(reqID) })
+	r.mu.Unlock()
+
+	r.broadcast(&rpc{Kind: kindRange, ReqID: reqID, Key: series, From: from, To: to})
+}
+
+// Repair pushes this replica's full CP series state to every peer
+// (peers adopt any series with a higher version). The sharded store
+// calls it after partitions heal so CP shards reconverge even when no
+// further appends arrive; AP shards reconverge via gossip and ignore
+// it. Series are pushed in sorted order for determinism.
+func (r *Replica) Repair() {
+	if r.cfg.Mode != ModeCP {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.cpTS))
+	for name := range r.cpTS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type push struct {
+		name string
+		ver  uint64
+		pts  []Point
+	}
+	pushes := make([]push, 0, len(names))
+	for _, name := range names {
+		st := r.cpTS[name]
+		pushes = append(pushes, push{name: name, ver: st.ver, pts: st.eng.AppendRange(nil, minTime, maxTime)})
+	}
+	r.mu.Unlock()
+	for _, p := range pushes {
+		r.broadcast(&rpc{Kind: kindSyncReply, Key: p.name, Ver: p.ver, Pts: p.pts})
 	}
 }
 
@@ -287,32 +595,72 @@ func (r *Replica) timeoutOp(reqID uint64) {
 	}
 	r.mu.Unlock()
 	if ok {
-		op.done(nil, ErrUnavailable)
+		op.bestVal, op.bestPts = nil, nil
+		op.complete(ErrUnavailable)
 	}
 }
 
 func (r *Replica) onCPMessage(from string, data []byte) {
-	var m rpc
-	if err := json.Unmarshal(data, &m); err != nil {
+	m, err := unmarshalRPC(data)
+	if err != nil {
 		return
 	}
 	switch m.Kind {
-	case "write":
+	case kindWrite:
 		r.mu.Lock()
 		cur := r.cp[m.Key]
 		if m.Ver > cur.Ver {
 			r.cp[m.Key] = versioned{Val: m.Val, Ver: m.Ver}
 		}
 		r.mu.Unlock()
-		out, _ := json.Marshal(rpc{Kind: "write_ack", ReqID: m.ReqID, Key: m.Key, OK: true})
-		_ = r.msg.Send(from, out)
-	case "read":
+		r.send(from, &rpc{Kind: kindWriteAck, ReqID: m.ReqID, Key: m.Key, OK: true})
+	case kindRead:
 		r.mu.Lock()
 		cur := r.cp[m.Key]
 		r.mu.Unlock()
-		out, _ := json.Marshal(rpc{Kind: "read_reply", ReqID: m.ReqID, Key: m.Key, Val: cur.Val, Ver: cur.Ver, OK: true})
-		_ = r.msg.Send(from, out)
-	case "write_ack", "read_reply":
+		r.send(from, &rpc{Kind: kindReadReply, ReqID: m.ReqID, Key: m.Key, Val: cur.Val, Ver: cur.Ver, OK: true})
+	case kindAppend:
+		r.mu.Lock()
+		st := r.cpSeriesLocked(m.Key)
+		switch {
+		case m.Ver == st.ver+1: // contiguous: apply and ack
+			st.eng.AppendBatch(m.Pts)
+			st.ver = m.Ver
+			r.mu.Unlock()
+			r.send(from, &rpc{Kind: kindAppendAck, ReqID: m.ReqID, Key: m.Key, OK: true})
+		case m.Ver <= st.ver: // duplicate of an applied batch: ack, don't re-apply
+			r.mu.Unlock()
+			r.send(from, &rpc{Kind: kindAppendAck, ReqID: m.ReqID, Key: m.Key, OK: true})
+		default: // gap: this replica missed batches across a partition —
+			// catch up via full-series sync instead of acking
+			r.mu.Unlock()
+			r.send(from, &rpc{Kind: kindSync, Key: m.Key})
+		}
+	case kindRange:
+		r.mu.Lock()
+		st := r.cpSeriesLocked(m.Key)
+		ver := st.ver
+		pts := st.eng.Range(m.From, m.To)
+		r.mu.Unlock()
+		r.send(from, &rpc{Kind: kindRangeReply, ReqID: m.ReqID, Key: m.Key, Ver: ver, Pts: pts, OK: true})
+	case kindSync:
+		r.mu.Lock()
+		st := r.cpSeriesLocked(m.Key)
+		ver := st.ver
+		pts := st.eng.AppendRange(nil, minTime, maxTime)
+		r.mu.Unlock()
+		r.send(from, &rpc{Kind: kindSyncReply, Key: m.Key, Ver: ver, Pts: pts})
+	case kindSyncReply:
+		r.mu.Lock()
+		st := r.cpSeriesLocked(m.Key)
+		if m.Ver > st.ver { // remote is strictly fresher: adopt its history
+			eng := NewSeriesEngine(r.cfg.SegmentSize)
+			eng.AppendBatch(m.Pts)
+			st.eng = eng
+			st.ver = m.Ver
+		}
+		r.mu.Unlock()
+	case kindWriteAck, kindReadReply, kindAppendAck, kindRangeReply:
 		r.mu.Lock()
 		op, ok := r.pending[m.ReqID]
 		if !ok {
@@ -320,9 +668,13 @@ func (r *Replica) onCPMessage(from string, data []byte) {
 			return
 		}
 		op.acks++
-		if m.Kind == "read_reply" && m.Ver > op.bestVer {
+		if m.Kind == kindReadReply && m.Ver > op.bestVer {
 			op.bestVer = m.Ver
 			op.bestVal = m.Val
+		}
+		if m.Kind == kindRangeReply && m.Ver > op.bestVer {
+			op.bestVer = m.Ver
+			op.bestPts = m.Pts
 		}
 		finished := op.acks >= op.needed
 		if finished {
@@ -331,10 +683,9 @@ func (r *Replica) onCPMessage(from string, data []byte) {
 				op.cancel()
 			}
 		}
-		val := op.bestVal
 		r.mu.Unlock()
 		if finished {
-			op.done(val, nil)
+			op.complete(nil)
 		}
 	}
 }
@@ -353,6 +704,153 @@ func (r *Replica) LocalValue(key string) []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return netbuf.CloneBytes(r.cp[key].Val)
+}
+
+// LocalSeriesRange returns the replica's local view of series points
+// with from <= T < to, bypassing quorum — convergence checks and the
+// scenario invariant read this.
+func (r *Replica) LocalSeriesRange(series string, from, to time.Duration) []Point {
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		defer r.ap.mu.Unlock()
+		if eng, ok := r.ap.eng[series]; ok {
+			return eng.Range(from, to)
+		}
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.cpTS[series]; ok {
+		return st.eng.Range(from, to)
+	}
+	return nil
+}
+
+// SeriesNames returns the locally known series, sorted.
+func (r *Replica) SeriesNames() []string {
+	var names []string
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		for name := range r.ap.logs {
+			names = append(names, name)
+		}
+		r.ap.mu.Unlock()
+	} else {
+		r.mu.Lock()
+		for name := range r.cpTS {
+			names = append(names, name)
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SeriesDigest folds the replica's time-series state into one hash;
+// equal digests across a replica group mean the group has converged.
+// AP hashes the CRDT origin logs (the authoritative state — merged
+// engines may order equal timestamps differently per replica); CP
+// hashes the canonical engine streams (single writer, same order
+// everywhere).
+func (r *Replica) SeriesDigest() uint64 {
+	h := uint64(fnvOffset)
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		defer r.ap.mu.Unlock()
+		names := make([]string, 0, len(r.ap.logs))
+		for name := range r.ap.logs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h = digestString(h, name)
+			origins := r.ap.logs[name]
+			ids := make([]string, 0, len(origins))
+			for id := range origins {
+				ids = append(ids, string(id))
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				h = digestString(h, id)
+				h = digestPoints(h, origins[crdt.ReplicaID(id)])
+			}
+		}
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.cpTS))
+	for name := range r.cpTS {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h = digestString(h, name)
+		h = r.cpTS[name].eng.digest(h)
+	}
+	return h
+}
+
+// SeriesStats sums the engine counters across the replica's series.
+func (r *Replica) SeriesStats() EngineStats {
+	var sum EngineStats
+	add := func(st EngineStats) {
+		sum.Points += st.Points
+		sum.Retained += st.Retained
+		sum.OutOfOrder += st.OutOfOrder
+		sum.OpenPoints += st.OpenPoints
+		sum.ClosedSegs += st.ClosedSegs
+		sum.SegsClosed += st.SegsClosed
+		sum.Compactions += st.Compactions
+		sum.Evicted += st.Evicted
+		sum.Bytes += st.Bytes
+	}
+	for _, eng := range r.seriesEngines() {
+		add(eng.Stats())
+	}
+	return sum
+}
+
+// FlushSeries closes every open head so buffered points reach encoded
+// segments.
+func (r *Replica) FlushSeries() {
+	for _, eng := range r.seriesEngines() {
+		eng.Flush()
+	}
+}
+
+// CompactSeries force-merges every series' closed segments.
+func (r *Replica) CompactSeries() {
+	for _, eng := range r.seriesEngines() {
+		eng.Compact()
+	}
+}
+
+// seriesEngines snapshots the replica's engines in sorted series order.
+func (r *Replica) seriesEngines() []*SeriesEngine {
+	var names []string
+	byName := make(map[string]*SeriesEngine)
+	if r.cfg.Mode == ModeAP {
+		r.ap.mu.Lock()
+		for name, eng := range r.ap.eng {
+			names = append(names, name)
+			byName[name] = eng
+		}
+		r.ap.mu.Unlock()
+	} else {
+		r.mu.Lock()
+		for name, st := range r.cpTS {
+			names = append(names, name)
+			byName[name] = st.eng
+		}
+		r.mu.Unlock()
+	}
+	sort.Strings(names)
+	engines := make([]*SeriesEngine, len(names))
+	for i, name := range names {
+		engines[i] = byName[name]
+	}
+	return engines
 }
 
 // String describes the replica.

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"iiotds/internal/metrics"
 )
 
 // Point is one telemetry sample.
@@ -21,12 +23,16 @@ type Point struct {
 // Series is a bounded in-memory time series (ring buffer). The zero
 // value is not usable; create with NewSeries.
 type Series struct {
-	mu    sync.Mutex
-	cap   int
-	pts   []Point
-	start int
-	count int
-	total uint64
+	mu      sync.Mutex
+	cap     int
+	pts     []Point
+	start   int
+	count   int
+	total   uint64
+	lastT   time.Duration
+	seenAny bool
+	ooo     uint64
+	oooCtr  *metrics.Counter
 }
 
 // NewSeries creates a series retaining the most recent capacity points.
@@ -37,10 +43,21 @@ func NewSeries(capacity int) *Series {
 	return &Series{cap: capacity, pts: make([]Point, capacity)}
 }
 
-// Append records a sample. Samples should arrive in time order; the store
-// does not sort.
+// Append records a sample. Samples should arrive in time order; a
+// sample whose T precedes the previously appended one is still stored
+// (retention is arrival-ordered) but is detected and counted — see
+// OutOfOrder and the Range contract.
 func (s *Series) Append(p Point) {
 	s.mu.Lock()
+	if s.seenAny && p.T < s.lastT {
+		s.ooo++
+		if s.oooCtr != nil {
+			s.oooCtr.Add(1)
+		}
+	} else {
+		s.lastT = p.T
+	}
+	s.seenAny = true
 	idx := (s.start + s.count) % s.cap
 	if s.count == s.cap {
 		s.pts[s.start] = p
@@ -50,6 +67,23 @@ func (s *Series) Append(p Point) {
 		s.count++
 	}
 	s.total++
+	s.mu.Unlock()
+}
+
+// OutOfOrder returns how many appended samples arrived with a timestamp
+// earlier than a previously appended one.
+func (s *Series) OutOfOrder() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ooo
+}
+
+// SetMetrics counts this series' out-of-order arrivals in reg's
+// "store_ooo_points" counter, labeled with the series name.
+func (s *Series) SetMetrics(reg *metrics.Registry, name string) {
+	ctr := reg.CounterWith("store_ooo_points", metrics.L("series", name))
+	s.mu.Lock()
+	s.oooCtr = ctr
 	s.mu.Unlock()
 }
 
@@ -77,7 +111,12 @@ func (s *Series) Last() (Point, bool) {
 	return s.pts[(s.start+s.count-1)%s.cap], true
 }
 
-// Range returns the retained points with from <= T < to, oldest first.
+// Range returns the retained points with from <= T < to in
+// non-decreasing timestamp order. When every sample arrived in time
+// order this is exactly arrival order; when out-of-order samples were
+// appended the result is stable-sorted by T, so samples with equal
+// timestamps keep their arrival order. (Retention is unaffected: the
+// ring always evicts the oldest *arrival*, not the oldest timestamp.)
 func (s *Series) Range(from, to time.Duration) []Point {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,6 +126,9 @@ func (s *Series) Range(from, to time.Duration) []Point {
 		if p.T >= from && p.T < to {
 			out = append(out, p)
 		}
+	}
+	if s.ooo > 0 {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	}
 	return out
 }

@@ -49,12 +49,15 @@ const (
 	// partition) — the churn engine's schedule, recorded alongside the
 	// protocol reactions it provokes.
 	LayerFault
+	// LayerStore carries data-storage tier events (ingest, segment
+	// flushes, compaction, anti-entropy) from the sharded store.
+	LayerStore
 	numLayers
 	// LayerAny matches every layer in a Filter.
 	LayerAny Layer = 0xff
 )
 
-var layerNames = [numLayers]string{"radio", "mac", "link", "rpl", "coap", "bus", "fault"}
+var layerNames = [numLayers]string{"radio", "mac", "link", "rpl", "coap", "bus", "fault", "store"}
 
 // String returns the layer's lowercase name.
 func (l Layer) String() string {
@@ -194,6 +197,23 @@ const (
 	// (negative = override removed, the link is restored).
 	FaultLink
 
+	// StoreAppend: a batch of readings was ingested into a shard.
+	// Node = the store's node ID (-1 for a free-standing store),
+	// A = shard index, B = batch point count.
+	StoreAppend
+	// StoreFlush: an open series head was closed into an encoded
+	// segment. A = shard index, B = points flushed.
+	StoreFlush
+	// StoreCompact: closed segments were merged. A = shard index,
+	// B = segments compacted away.
+	StoreCompact
+	// StoreAntiEntropy: AP gossip merged remote points into a replica.
+	// A = shard index, B = points merged.
+	StoreAntiEntropy
+	// StoreUnavail: a CP operation failed for lack of quorum.
+	// A = shard index.
+	StoreUnavail
+
 	numTypes
 	// TypeAny matches every type in a Filter.
 	TypeAny Type = 0xff
@@ -240,6 +260,11 @@ var typeInfo = [numTypes]struct {
 	FaultPartition:   {LayerFault, "partition"},
 	FaultHeal:        {LayerFault, "heal"},
 	FaultLink:        {LayerFault, "link"},
+	StoreAppend:      {LayerStore, "append"},
+	StoreFlush:       {LayerStore, "flush"},
+	StoreCompact:     {LayerStore, "compact"},
+	StoreAntiEntropy: {LayerStore, "anti_entropy"},
+	StoreUnavail:     {LayerStore, "unavail"},
 }
 
 // Layer returns the protocol layer the type belongs to.
