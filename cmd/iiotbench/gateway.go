@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"iiotds/internal/gateway"
+)
+
+// gatewayBenchDoc is the BENCH_gateway.json document: the swarm result
+// plus enough host context to compare runs.
+type gatewayBenchDoc struct {
+	gateway.SwarmResult
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	GoVersion   string `json:"go_version"`
+	GeneratedAt string `json:"generated_at"`
+}
+
+// runGatewayBench drives the synthetic observer swarm against a real
+// Gateway (sharded fan-out pool, batched MIDs, zero-alloc NON encoding)
+// and writes the measurements to out. It fails — exit status 1 — when a
+// registration leaks past the deregister storm, when any notification is
+// dropped, or when p99 notification latency exceeds p99Max (0 disables
+// the gate).
+func runGatewayBench(observers, resources, rounds, payload, queueLen, confirmEvery int, p99Max float64, out string, quiet bool) int {
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "iiotbench: "+format+"\n", args...)
+		}
+	}
+	res, err := gateway.RunSwarm(gateway.SwarmConfig{
+		Observers:    observers,
+		Resources:    resources,
+		NotifyRounds: rounds,
+		PayloadSize:  payload,
+		QueueLen:     queueLen,
+		ConfirmEvery: confirmEvery,
+		Log:          logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iiotbench: gateway swarm: %v\n", err)
+		return 1
+	}
+
+	doc := gatewayBenchDoc{
+		SwarmResult: *res,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iiotbench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "iiotbench: %v\n", err)
+		return 1
+	} else {
+		fmt.Printf("gateway swarm: %s\nwrote %s\n", res, out)
+	}
+
+	fail := false
+	if res.LeakedObservers != 0 {
+		fmt.Fprintf(os.Stderr, "iiotbench: FAIL: %d observers leaked past the deregister storm\n", res.LeakedObservers)
+		fail = true
+	}
+	if res.NotifyDrops != 0 {
+		fmt.Fprintf(os.Stderr, "iiotbench: FAIL: %d notifications dropped under backpressure\n", res.NotifyDrops)
+		fail = true
+	}
+	if p99Max > 0 && res.P99ms > p99Max {
+		fmt.Fprintf(os.Stderr, "iiotbench: FAIL: p99 notification latency %.1f ms exceeds bound %.1f ms\n", res.P99ms, p99Max)
+		fail = true
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}

@@ -62,7 +62,22 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	gwMode := flag.Bool("gateway", false, "run the synthetic observer-swarm gateway benchmark instead of the experiment suite")
+	gwObservers := flag.Int("gw-observers", 1_000_000, "gateway swarm: concurrent observer population")
+	gwResources := flag.Int("gw-resources", 16, "gateway swarm: observable resources the population spreads over")
+	gwRounds := flag.Int("gw-rounds", 4, "gateway swarm: notification fan-out rounds")
+	gwPayload := flag.Int("gw-payload", 16, "gateway swarm: representation payload bytes")
+	gwQueue := flag.Int("gw-queue", 0, "gateway swarm: per-shard notify queue length (0 = default)")
+	gwConfirm := flag.Int("gw-confirm", 0, "gateway swarm: CON cadence (0 = all NON)")
+	gwP99Max := flag.Float64("gw-p99-max", 0, "gateway swarm: fail if p99 notification latency exceeds this many ms (0 = no gate)")
+	gwOut := flag.String("gw-out", "BENCH_gateway.json", "gateway swarm: result file (- for stdout)")
+	gwQuiet := flag.Bool("gw-quiet", false, "gateway swarm: suppress progress lines")
 	flag.Parse()
+
+	if *gwMode {
+		return runGatewayBench(*gwObservers, *gwResources, *gwRounds, *gwPayload,
+			*gwQueue, *gwConfirm, *gwP99Max, *gwOut, *gwQuiet)
+	}
 
 	scale := exp.Quick
 	switch *scaleFlag {

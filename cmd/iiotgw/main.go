@@ -4,7 +4,14 @@
 // observations via protocol adapters) and, with -probe, acts as a CoAP
 // client against another gateway instance.
 //
+// The observe side runs through internal/gateway: a sampler publishes
+// the legacy device's readings into the gateway, which fans them out to
+// (potentially very large) observer populations via the sharded notify
+// pool, coalesces bursts, enforces the per-resource observer cap with
+// 5.03 + Max-Age, and serves HTTP/JSON reads from its last-value cache.
+//
 //	iiotgw -listen 127.0.0.1:5683             # serve
+//	iiotgw -http 127.0.0.1:8080               # + metrics and /v1 read path
 //	iiotgw -probe 127.0.0.1:5683              # discover + read resources
 package main
 
@@ -21,6 +28,7 @@ import (
 
 	"iiotds/internal/adapter"
 	"iiotds/internal/coap"
+	"iiotds/internal/gateway"
 	"iiotds/internal/metrics"
 	"iiotds/internal/registry"
 )
@@ -28,22 +36,48 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:5683", "UDP address to serve CoAP on")
 	probe := flag.String("probe", "", "act as client: discover and read a gateway at this address")
-	httpAddr := flag.String("http", "", "serve /metrics (Prometheus text) and /debug/vars (expvar) on this TCP address")
+	httpAddr := flag.String("http", "", "serve /metrics, /debug/vars, and the /v1 JSON read path on this TCP address")
 	pprofOn := flag.Bool("pprof", false, "also serve /debug/pprof/ on the -http address")
+	obsMax := flag.Int("observers-max", 100000, "observer cap per resource (0 = protocol default)")
+	coalesce := flag.Duration("coalesce", 0, "minimum interval between notification pushes per resource (0 = push every sample)")
+	conEvery := flag.Int("con-every", 0, "make every n-th notification confirmable (0 = default 8, negative = never)")
+	queueLen := flag.Int("notify-queue", 0, "per-shard notify queue length (0 = default)")
+	sample := flag.Duration("sample", time.Second, "device sampling interval")
 	flag.Parse()
 
 	if *probe != "" {
 		runProbe(*probe)
 		return
 	}
-	runGateway(*listen, *httpAddr, *pprofOn)
+	runGateway(gwOptions{
+		listen:   *listen,
+		httpAddr: *httpAddr,
+		pprofOn:  *pprofOn,
+		obsMax:   *obsMax,
+		coalesce: *coalesce,
+		conEvery: *conEvery,
+		queueLen: *queueLen,
+		sample:   *sample,
+	})
 }
 
-// serveObservability exposes the gateway's labeled metrics registry over
-// HTTP: Prometheus text on /metrics, the same snapshot as JSON through
-// expvar on /debug/vars, and — only when asked — the pprof profiling
-// endpoints.
-func serveObservability(addr string, reg *metrics.Registry, withPprof bool) {
+type gwOptions struct {
+	listen   string
+	httpAddr string
+	pprofOn  bool
+	obsMax   int
+	coalesce time.Duration
+	conEvery int
+	queueLen int
+	sample   time.Duration
+}
+
+// observabilityMux builds the HTTP surface: Prometheus text on /metrics,
+// the same snapshot as JSON through expvar on /debug/vars, the gateway's
+// /v1 read path, and — only when asked — the pprof endpoints. Safe to
+// call more than once per process: the expvar publication (which panics
+// on duplicate names) is guarded.
+func observabilityMux(reg *metrics.Registry, gw *gateway.Gateway, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -51,8 +85,13 @@ func serveObservability(addr string, reg *metrics.Registry, withPprof bool) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	expvar.Publish("iiot", expvar.Func(reg.ExpvarFunc()))
+	if expvar.Get("iiot") == nil {
+		expvar.Publish("iiot", expvar.Func(reg.ExpvarFunc()))
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
+	if gw != nil {
+		mux.Handle("/v1/", gw.HTTPHandler())
+	}
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -60,17 +99,24 @@ func serveObservability(addr string, reg *metrics.Registry, withPprof bool) {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	return mux
+}
+
+// serveObservability runs the mux on an http.Server with timeouts (a
+// stalled scrape must not pin a goroutine forever).
+func serveObservability(addr string, mux *http.ServeMux) {
+	s := gateway.NewHTTPServer(addr, mux)
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := s.ListenAndServe(); err != nil {
 			fmt.Fprintf(os.Stderr, "iiotgw: http: %v\n", err)
 		}
 	}()
 }
 
 // runGateway serves the middleware over a real socket: an emulated legacy
-// Modbus device is exposed through its adapter as canonical resources.
-func runGateway(listen, httpAddr string, pprofOn bool) {
-	tr, err := coap.NewUDPTransport(listen)
+// Modbus device is sampled into the gateway, which owns the fan-out.
+func runGateway(o gwOptions) {
+	tr, err := coap.NewUDPTransport(o.listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iiotgw: %v\n", err)
 		os.Exit(1)
@@ -82,10 +128,16 @@ func runGateway(listen, httpAddr string, pprofOn bool) {
 	requests := func(resource string) *metrics.Counter {
 		return mreg.CounterWith("gw.requests", metrics.L("resource", resource))
 	}
-	if httpAddr != "" {
-		serveObservability(httpAddr, mreg, pprofOn)
-		fmt.Printf("iiotgw: metrics on http://%s/metrics (pprof: %v)\n", httpAddr, pprofOn)
-	}
+
+	gw := gateway.New(conn, gateway.Config{
+		MaxObservers: o.obsMax,
+		RejectMaxAge: uint32((o.sample + time.Second - 1) / time.Second),
+		Coalesce:     o.coalesce,
+		ConfirmEvery: o.conEvery,
+		QueueLen:     o.queueLen,
+		Metrics:      mreg,
+	})
+	defer gw.Close()
 
 	// One legacy device behind its adapter.
 	mb := adapter.NewModbusAdapter()
@@ -111,7 +163,20 @@ func runGateway(listen, httpAddr string, pprofOn bool) {
 		os.Exit(1)
 	}
 
-	srv := coap.NewServer()
+	readTemp := func() (string, error) {
+		obs, err := mb.Decode(dev, emu.Frame(), time.Duration(time.Now().UnixNano()))
+		if err != nil {
+			return "", err
+		}
+		for _, o := range obs {
+			if o.Cap == "temp" {
+				return fmt.Sprintf("%.2f", o.Value), nil
+			}
+		}
+		return "", fmt.Errorf("no temp observation")
+	}
+
+	srv := gw.Server()
 	srv.Resource("registry/devices").ResourceType("iiot.registry").Get(
 		func(string, *coap.Message) *coap.Message {
 			requests("registry").Inc()
@@ -121,19 +186,16 @@ func runGateway(listen, httpAddr string, pprofOn bool) {
 			}
 			return coap.TextResponse(sb.String())
 		})
-	srv.Resource("devices/press-1/temp").ResourceType("iiot.sensor").Observable().Get(
+	// The observable sensor serves from the last-value cache; until the
+	// first sample lands, the fallback reads the device synchronously.
+	gw.AddResource("devices/press-1/temp", "iiot.sensor",
 		func(string, *coap.Message) *coap.Message {
 			requests("temp").Inc()
-			obs, err := mb.Decode(dev, emu.Frame(), time.Duration(time.Now().UnixNano()))
+			v, err := readTemp()
 			if err != nil {
 				return coap.ErrorResponse(coap.CodeInternalServerError, err.Error())
 			}
-			for _, o := range obs {
-				if o.Cap == "temp" {
-					return coap.TextResponse(fmt.Sprintf("%.2f", o.Value))
-				}
-			}
-			return coap.ErrorResponse(coap.CodeNotFound, "no temp observation")
+			return coap.TextResponse(v)
 		})
 	srv.Resource("devices/press-1/setpoint").ResourceType("iiot.actuator").Put(
 		func(_ string, req *coap.Message) *coap.Message {
@@ -151,13 +213,44 @@ func runGateway(listen, httpAddr string, pprofOn bool) {
 			}
 			return &coap.Message{Code: coap.CodeChanged}
 		})
-	conn.Serve(srv)
 
-	fmt.Printf("iiotgw: CoAP gateway on %s (resources: /.well-known/core)\n", tr.LocalAddr())
+	if o.httpAddr != "" {
+		serveObservability(o.httpAddr, observabilityMux(mreg, gw, o.pprofOn))
+		fmt.Printf("iiotgw: metrics on http://%s/metrics, reads on http://%s/v1/last/... (pprof: %v)\n",
+			o.httpAddr, o.httpAddr, o.pprofOn)
+	}
+
+	// Sampler: poll the legacy device and publish into the gateway —
+	// observers and the HTTP read path both feed from these pushes.
+	observers := mreg.Gauge("gw.observers")
+	sampleErrs := mreg.Counter("gw.sample_errors")
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(o.sample)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				v, err := readTemp()
+				if err != nil {
+					sampleErrs.Inc()
+					continue
+				}
+				gw.Publish("devices/press-1/temp", coap.FormatText, []byte(v))
+				observers.Set(float64(gw.Stats().Observers))
+			}
+		}
+	}()
+
+	fmt.Printf("iiotgw: CoAP gateway on %s (resources: /.well-known/core; observer cap %d/resource, coalesce %v)\n",
+		tr.LocalAddr(), o.obsMax, o.coalesce)
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	<-ch
-	fmt.Println("iiotgw: shutting down")
+	close(stop)
+	fmt.Println("iiotgw: shutting down:", gw.Stats())
 }
 
 // runProbe exercises a remote gateway like any standards-based CoAP

@@ -99,6 +99,15 @@ type dedupEntry struct {
 	response []byte // cached ACK/response bytes for duplicate CONs
 }
 
+// dedupRef is one entry of the dedup expiry queue: insertion times are
+// monotonic, so expiry pops from the front instead of scanning the whole
+// map (which made every request O(table size)). The at field detects
+// refs made stale by a key being re-inserted with a fresher timestamp.
+type dedupRef struct {
+	k  string
+	at time.Duration
+}
+
 // Conn is a CoAP endpoint: client and server share one transport, as the
 // protocol intends.
 type Conn struct {
@@ -113,6 +122,8 @@ type Conn struct {
 	pending   map[string]*outCON    // addr|mid
 	awaiting  map[string]*reqState  // addr|token
 	dedup     map[string]dedupEntry // addr|mid
+	dedupQ    []dedupRef            // dedup keys in insertion (time) order
+	dedupHead int                   // first live index of dedupQ
 	closed    bool
 
 	server *Server
@@ -264,6 +275,8 @@ func (c *Conn) Reset() {
 	c.pending = make(map[string]*outCON)
 	c.awaiting = make(map[string]*reqState)
 	c.dedup = make(map[string]dedupEntry)
+	c.dedupQ = nil
+	c.dedupHead = 0
 	c.mu.Unlock()
 	for _, fn := range fns {
 		fn(nil, ErrClosed)
@@ -279,6 +292,20 @@ func tokenKey(addr string, token []byte) string {
 func (c *Conn) newMID() uint16 {
 	c.nextMID++
 	return c.nextMID
+}
+
+// allocMIDs reserves a block of n consecutive message IDs in one lock
+// round and returns the first, so a notification fan-out pays one lock
+// acquisition per batch instead of one per observer. The ID sequence is
+// exactly what n calls of newMID would have produced. MIDs wrap at 2^16;
+// batches larger than that alias within themselves, which RFC 7252
+// tolerates for NONs (retransmission state is never keyed on them here).
+func (c *Conn) allocMIDs(n int) uint16 {
+	c.mu.Lock()
+	first := c.nextMID + 1
+	c.nextMID += uint16(n)
+	c.mu.Unlock()
+	return first
 }
 
 func (c *Conn) newToken() []byte {
@@ -571,12 +598,8 @@ func (c *Conn) handleRequest(from string, m *Message) {
 	now := c.sched.Now()
 	k := key(from, m.MessageID)
 	c.mu.Lock()
+	c.expireDedupLocked(now)
 	// Deduplicate: replay the cached response for a repeated CON.
-	for dk, e := range c.dedup {
-		if now-e.at > c.cfg.ExchangeLifetime {
-			delete(c.dedup, dk)
-		}
-	}
 	if e, dup := c.dedup[k]; dup && m.Type == Confirmable {
 		c.mu.Unlock()
 		if e.response != nil {
@@ -614,8 +637,39 @@ func (c *Conn) handleRequest(from string, m *Message) {
 	if err != nil {
 		return
 	}
-	c.mu.Lock()
-	c.dedup[k] = dedupEntry{at: now, response: data}
-	c.mu.Unlock()
+	if m.Type == Confirmable {
+		// Only CONs are deduplicated (RFC 7252 §4.5): caching NON
+		// requests too would retain a response per message for no replay
+		// benefit — and let a stale NON entry alias a later CON that
+		// reuses the MID.
+		c.mu.Lock()
+		c.dedup[k] = dedupEntry{at: now, response: data}
+		c.dedupQ = append(c.dedupQ, dedupRef{k: k, at: now})
+		c.mu.Unlock()
+	}
 	_ = c.tr.Send(from, data)
+}
+
+// expireDedupLocked drops dedup entries older than ExchangeLifetime.
+// Queue order is insertion order and timestamps are monotonic, so it
+// stops at the first live entry — amortized O(1) per request. Must be
+// called with c.mu held.
+func (c *Conn) expireDedupLocked(now time.Duration) {
+	for c.dedupHead < len(c.dedupQ) {
+		ref := c.dedupQ[c.dedupHead]
+		if e, ok := c.dedup[ref.k]; ok && e.at == ref.at {
+			if now-e.at <= c.cfg.ExchangeLifetime {
+				break
+			}
+			delete(c.dedup, ref.k)
+		}
+		c.dedupQ[c.dedupHead] = dedupRef{} // release the key string
+		c.dedupHead++
+	}
+	if c.dedupHead > 64 && c.dedupHead*2 >= len(c.dedupQ) {
+		n := copy(c.dedupQ, c.dedupQ[c.dedupHead:])
+		clear(c.dedupQ[n:])
+		c.dedupQ = c.dedupQ[:n]
+		c.dedupHead = 0
+	}
 }

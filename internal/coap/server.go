@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"iiotds/internal/netbuf"
 )
@@ -14,31 +15,51 @@ import (
 // type, token, and IDs. Returning nil suppresses the response.
 type HandlerFunc func(from string, req *Message) *Message
 
-// maxObserversPerResource bounds observer state on constrained nodes.
-const maxObserversPerResource = 64
+// DefaultMaxObservers bounds observer state per resource when no explicit
+// limit is configured — sized for constrained nodes. Gateways raise it
+// via Server.SetObserverLimit / Resource.SetMaxObservers.
+const DefaultMaxObservers = 64
 
-// conNotifyEvery makes every n-th notification confirmable so dead
+// defaultConfirmEvery makes every n-th notification confirmable so dead
 // observers are eventually detected and dropped.
-const conNotifyEvery = 8
+const defaultConfirmEvery = 8
+
+// obsShards is the number of observer shards per resource. Sharding keys
+// on the (addr, token) registration key, so lock contention and fan-out
+// work spread evenly; it must be a power of two.
+const obsShards = 16
 
 type observer struct {
-	addr    string
-	token   []byte
-	lastMID uint16
-	fails   int
+	addr  string
+	token []byte
+	// lastMID holds the message ID of the most recent notification sent
+	// to this observer (low 16 bits), read by RST handling. It is atomic
+	// because Notify stores it outside the shard lock while
+	// removeObserverByMID reads it under the lock.
+	lastMID atomic.Uint32
+}
+
+// obsShard is one lock-striped slice of a resource's observer table.
+type obsShard struct {
+	mu sync.Mutex
+	m  map[string]*observer
+	n  atomic.Int64 // len(m), readable without the lock
 }
 
 // Resource is one node in the server's resource tree.
 type Resource struct {
-	path       string
-	rt         string // resource type for /.well-known/core
+	path   string
+	server *Server
+
+	mu         sync.Mutex // guards rt, observable, handlers
+	rt         string     // resource type for /.well-known/core
 	observable bool
 	handlers   map[Code]HandlerFunc
 
-	mu        sync.Mutex
-	observers map[string]*observer
-	obsSeq    uint32
-	server    *Server
+	obsSeq atomic.Uint32
+	nobs   atomic.Int64 // total observers across shards
+	maxObs atomic.Int64 // per-resource cap; 0 = server default
+	shards [obsShards]obsShard
 }
 
 // Server is a CoAP origin server: a set of resources plus the CoRE
@@ -49,11 +70,48 @@ type Server struct {
 
 	mu        sync.Mutex
 	resources map[string]*Resource
+
+	maxObs       atomic.Int64 // default per-resource cap; 0 = DefaultMaxObservers
+	confirmEvery atomic.Int64 // 0 = defaultConfirmEvery, <0 = never confirmable
+	rejectMaxAge atomic.Int64 // Max-Age (seconds) on 5.03 admission rejects; 0 = none
+
+	pool atomic.Pointer[notifyPool]
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
 	return &Server{resources: make(map[string]*Resource)}
+}
+
+// SetObserverLimit sets the default per-resource observer cap (admission
+// control). n <= 0 restores DefaultMaxObservers.
+func (s *Server) SetObserverLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxObs.Store(int64(n))
+}
+
+// SetRejectMaxAge makes observe-admission rejects (5.03) carry a Max-Age
+// option of age seconds, hinting clients when to retry. 0 disables the
+// option (the default, and the constrained-node behavior).
+func (s *Server) SetRejectMaxAge(age uint32) { s.rejectMaxAge.Store(int64(age)) }
+
+// SetConfirmEvery makes every n-th notification per resource confirmable
+// (dead-observer detection). n == 0 restores the default (8); n < 0
+// disables confirmable notifications entirely.
+func (s *Server) SetConfirmEvery(n int) { s.confirmEvery.Store(int64(n)) }
+
+func (s *Server) confirmEveryVal() uint32 {
+	v := s.confirmEvery.Load()
+	switch {
+	case v == 0:
+		return defaultConfirmEvery
+	case v < 0:
+		return 0
+	default:
+		return uint32(v)
+	}
 }
 
 // Resource registers (or returns) the resource at path.
@@ -64,10 +122,9 @@ func (s *Server) Resource(path string) *Resource {
 	r, ok := s.resources[path]
 	if !ok {
 		r = &Resource{
-			path:      path,
-			handlers:  make(map[Code]HandlerFunc),
-			observers: make(map[string]*observer),
-			server:    s,
+			path:     path,
+			handlers: make(map[Code]HandlerFunc),
+			server:   s,
 		}
 		s.resources[path] = r
 	}
@@ -87,56 +144,120 @@ func (s *Server) Paths() []string {
 }
 
 // Get installs the GET handler. It returns r for chaining.
-func (r *Resource) Get(fn HandlerFunc) *Resource { r.handlers[CodeGET] = fn; return r }
+func (r *Resource) Get(fn HandlerFunc) *Resource { r.setHandler(CodeGET, fn); return r }
 
 // Put installs the PUT handler.
-func (r *Resource) Put(fn HandlerFunc) *Resource { r.handlers[CodePUT] = fn; return r }
+func (r *Resource) Put(fn HandlerFunc) *Resource { r.setHandler(CodePUT, fn); return r }
 
 // Post installs the POST handler.
-func (r *Resource) Post(fn HandlerFunc) *Resource { r.handlers[CodePOST] = fn; return r }
+func (r *Resource) Post(fn HandlerFunc) *Resource { r.setHandler(CodePOST, fn); return r }
 
 // Delete installs the DELETE handler.
-func (r *Resource) Delete(fn HandlerFunc) *Resource { r.handlers[CodeDELETE] = fn; return r }
+func (r *Resource) Delete(fn HandlerFunc) *Resource { r.setHandler(CodeDELETE, fn); return r }
 
-// Observable marks the resource as observable (RFC 7641).
-func (r *Resource) Observable() *Resource { r.observable = true; return r }
-
-// ResourceType sets the rt= attribute advertised in /.well-known/core.
-func (r *Resource) ResourceType(rt string) *Resource { r.rt = rt; return r }
-
-// ObserverCount returns the number of registered observers.
-func (r *Resource) ObserverCount() int {
+func (r *Resource) setHandler(code Code, fn HandlerFunc) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.observers)
+	r.handlers[code] = fn
+	r.mu.Unlock()
 }
 
-// Notify pushes a new representation to every observer.
+// Observable marks the resource as observable (RFC 7641).
+func (r *Resource) Observable() *Resource {
+	r.mu.Lock()
+	r.observable = true
+	r.mu.Unlock()
+	return r
+}
+
+// ResourceType sets the rt= attribute advertised in /.well-known/core.
+func (r *Resource) ResourceType(rt string) *Resource {
+	r.mu.Lock()
+	r.rt = rt
+	r.mu.Unlock()
+	return r
+}
+
+// SetMaxObservers overrides the server's observer cap for this resource.
+// n <= 0 restores the server default.
+func (r *Resource) SetMaxObservers(n int) *Resource {
+	if n < 0 {
+		n = 0
+	}
+	r.maxObs.Store(int64(n))
+	return r
+}
+
+func (r *Resource) maxObservers() int64 {
+	if v := r.maxObs.Load(); v > 0 {
+		return v
+	}
+	if v := r.server.maxObs.Load(); v > 0 {
+		return v
+	}
+	return DefaultMaxObservers
+}
+
+// ObserverCount returns the number of registered observers.
+func (r *Resource) ObserverCount() int { return int(r.nobs.Load()) }
+
+// shardOf maps a registration key onto its shard (FNV-1a).
+func shardOf(k string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return int(h & (obsShards - 1))
+}
+
+// Notify pushes a new representation to every observer. Without a notify
+// pool (Server.StartNotifyPool) the fan-out runs inline on the caller —
+// deterministic, in ascending observer-address order, which is what the
+// simulation relies on. With a pool, each observer shard is dispatched to
+// its own worker through a bounded queue; a full queue drops that shard's
+// push (backpressure — the next notification carries the newer state).
 func (r *Resource) Notify(contentFormat uint32, payload []byte) {
 	srv := r.server
 	if srv == nil || srv.conn == nil {
 		return
 	}
-	c := srv.conn
-	r.mu.Lock()
-	r.obsSeq++
-	seq := r.obsSeq
-	obs := make([]*observer, 0, len(r.observers))
-	for _, o := range r.observers {
-		obs = append(obs, o)
+	seq := r.obsSeq.Add(1)
+	if p := srv.pool.Load(); p != nil {
+		p.dispatch(r, seq, contentFormat, payload)
+		return
 	}
-	r.mu.Unlock()
-	sort.Slice(obs, func(i, j int) bool { return obs[i].addr < obs[j].addr })
+	r.notifyAll(seq, contentFormat, payload)
+}
 
-	for _, o := range obs {
+// notifyAll is the inline (deterministic) fan-out: observers across all
+// shards, sorted by address, one message-ID block for the whole batch.
+func (r *Resource) notifyAll(seq, contentFormat uint32, payload []byte) {
+	c := r.server.conn
+	var obs []*observer
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, o := range sh.m {
+			obs = append(obs, o)
+		}
+		sh.mu.Unlock()
+	}
+	if len(obs) == 0 {
+		return
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i].addr < obs[j].addr })
+	mid := c.allocMIDs(len(obs))
+	con := false
+	if ce := r.server.confirmEveryVal(); ce > 0 {
+		con = seq%ce == 0
+	}
+	for i, o := range obs {
 		m := &Message{Code: CodeContent, Token: o.token, Payload: payload}
 		m.AddUintOption(OptObserve, seq)
 		m.AddUintOption(OptContentFormat, contentFormat)
-		c.mu.Lock()
-		m.MessageID = c.newMID()
-		c.mu.Unlock()
-		o.lastMID = m.MessageID
-		if seq%conNotifyEvery == 0 {
+		m.MessageID = mid + uint16(i)
+		o.lastMID.Store(uint32(m.MessageID))
+		if con {
 			m.Type = Confirmable
 			addr, token := o.addr, o.token
 			c.send(addr, m, func(error) {
@@ -153,21 +274,211 @@ func (r *Resource) Notify(contentFormat uint32, payload []byte) {
 	}
 }
 
+// notifyShard fans one notification out to one observer shard. It is the
+// gateway hot path: the message body (options + payload) is encoded once
+// per shard, per-observer packets are assembled in a reused buffer, and
+// message IDs come from a single batched allocation — zero allocations
+// per observer at steady state (CI-gated). scratch is the caller's reused
+// observer slice; the (possibly grown) slice is returned for reuse.
+func (r *Resource) notifyShard(si int, seq, contentFormat uint32, payload []byte, enc *notifyEncoder, scratch []*observer) []*observer {
+	c := r.server.conn
+	sh := &r.shards[si]
+	sh.mu.Lock()
+	for _, o := range sh.m {
+		scratch = append(scratch, o)
+	}
+	sh.mu.Unlock()
+	if len(scratch) == 0 {
+		return scratch
+	}
+	mid := c.allocMIDs(len(scratch))
+	con := false
+	if ce := r.server.confirmEveryVal(); ce > 0 {
+		con = seq%ce == 0
+	}
+	if !con {
+		enc.prepare(seq, contentFormat, payload)
+	}
+	for i, o := range scratch {
+		m := mid + uint16(i)
+		o.lastMID.Store(uint32(m))
+		if con {
+			msg := &Message{Type: Confirmable, Code: CodeContent, Token: o.token, Payload: payload, MessageID: m}
+			msg.AddUintOption(OptObserve, seq)
+			msg.AddUintOption(OptContentFormat, contentFormat)
+			addr, token := o.addr, o.token
+			c.send(addr, msg, func(error) {
+				r.removeObserver(addr, token)
+			})
+		} else {
+			_ = c.tr.Send(o.addr, enc.packet(m, o.token))
+		}
+	}
+	return scratch
+}
+
+// notifyEncoder assembles NON notification datagrams without allocating:
+// the option block and payload are laid down once per notification, then
+// each observer's packet patches in the 4-byte header and token. The
+// encoded bytes are identical to Message.Marshal output (pinned by test).
+type notifyEncoder struct {
+	body []byte // options + payload marker + payload
+	pkt  []byte // per-observer packet, reused between sends
+}
+
+// appendUintOpt appends one option with delta < 13 and a uint value.
+func appendUintOpt(b []byte, delta int, v uint32) []byte {
+	var vb [4]byte
+	n := 0
+	for x := v; x > 0; x >>= 8 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		vb[i] = byte(v >> (8 * (n - 1 - i)))
+	}
+	b = append(b, byte(delta)<<4|byte(n))
+	return append(b, vb[:n]...)
+}
+
+// prepare encodes the shared body: Observe (6) and Content-Format (12)
+// options in ascending-ID delta form, then the payload.
+func (e *notifyEncoder) prepare(seq, contentFormat uint32, payload []byte) {
+	b := appendUintOpt(e.body[:0], int(OptObserve), seq)
+	b = appendUintOpt(b, int(OptContentFormat-OptObserve), contentFormat)
+	if len(payload) > 0 {
+		b = append(b, 0xFF)
+		b = append(b, payload...)
+	}
+	e.body = b
+}
+
+// packet assembles the datagram for one observer. The returned slice is
+// valid until the next packet call; transports must not retain it.
+func (e *notifyEncoder) packet(mid uint16, token []byte) []byte {
+	p := e.pkt[:0]
+	p = append(p, version<<6|uint8(NonConfirmable)<<4|uint8(len(token)))
+	p = append(p, uint8(CodeContent))
+	p = append(p, byte(mid>>8), byte(mid))
+	p = append(p, token...)
+	p = append(p, e.body...)
+	e.pkt = p
+	return p
+}
+
+// notifyJob is one (resource, shard) fan-out unit of work.
+type notifyJob struct {
+	r       *Resource
+	seq     uint32
+	cf      uint32
+	payload []byte
+}
+
+// notifyPool runs per-shard fan-out workers behind bounded queues. Worker
+// i owns observer shard i of every resource, so no two workers ever touch
+// the same observer and each holds only its own shard's lock.
+type notifyPool struct {
+	queues  []chan notifyJob
+	wg      sync.WaitGroup
+	dropped atomic.Int64
+}
+
+// StartNotifyPool switches Notify to parallel per-shard fan-out (one
+// worker and one bounded queue per observer shard). Use on gateways over
+// real transports; the inline path stays the default because only it is
+// deterministic. queueLen <= 0 selects 256.
+func (s *Server) StartNotifyPool(queueLen int) {
+	if queueLen <= 0 {
+		queueLen = 256
+	}
+	p := &notifyPool{queues: make([]chan notifyJob, obsShards)}
+	for i := range p.queues {
+		p.queues[i] = make(chan notifyJob, queueLen)
+	}
+	p.wg.Add(obsShards)
+	for i := range p.queues {
+		go p.worker(i)
+	}
+	if old := s.pool.Swap(p); old != nil {
+		old.stop()
+	}
+}
+
+// StopNotifyPool drains the pool and restores inline fan-out.
+func (s *Server) StopNotifyPool() {
+	if p := s.pool.Swap(nil); p != nil {
+		p.stop()
+	}
+}
+
+// NotifyDropped reports shard pushes rejected by full queues
+// (backpressure drops) since the pool started.
+func (s *Server) NotifyDropped() int64 {
+	if p := s.pool.Load(); p != nil {
+		return p.dropped.Load()
+	}
+	return 0
+}
+
+func (p *notifyPool) stop() {
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.wg.Wait()
+}
+
+func (p *notifyPool) worker(i int) {
+	defer p.wg.Done()
+	var enc notifyEncoder
+	var scratch []*observer
+	for job := range p.queues[i] {
+		scratch = job.r.notifyShard(i, job.seq, job.cf, job.payload, &enc, scratch[:0])
+	}
+}
+
+func (p *notifyPool) dispatch(r *Resource, seq, cf uint32, payload []byte) {
+	job := notifyJob{r: r, seq: seq, cf: cf, payload: payload}
+	for i := 0; i < obsShards; i++ {
+		if r.shards[i].n.Load() == 0 {
+			continue
+		}
+		select {
+		case p.queues[i] <- job:
+		default:
+			p.dropped.Add(1)
+		}
+	}
+}
+
 func (r *Resource) addObserver(addr string, token []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	k := tokenKey(addr, token)
-	if _, ok := r.observers[k]; !ok && len(r.observers) >= maxObserversPerResource {
+	sh := &r.shards[shardOf(k)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[k]; ok {
+		return nil // re-registration with the same token refreshes in place
+	}
+	if r.nobs.Add(1) > r.maxObservers() {
+		r.nobs.Add(-1)
 		return ErrTooManyObservers
 	}
-	r.observers[k] = &observer{addr: addr, token: netbuf.CloneBytes(token)}
+	if sh.m == nil {
+		sh.m = make(map[string]*observer)
+	}
+	sh.m[k] = &observer{addr: addr, token: netbuf.CloneBytes(token)}
+	sh.n.Store(int64(len(sh.m)))
 	return nil
 }
 
 func (r *Resource) removeObserver(addr string, token []byte) {
-	r.mu.Lock()
-	delete(r.observers, tokenKey(addr, token))
-	r.mu.Unlock()
+	k := tokenKey(addr, token)
+	sh := &r.shards[shardOf(k)]
+	sh.mu.Lock()
+	if _, ok := sh.m[k]; ok {
+		delete(sh.m, k)
+		sh.n.Store(int64(len(sh.m)))
+		r.nobs.Add(-1)
+	}
+	sh.mu.Unlock()
 }
 
 // removeObserverByMID drops whatever observer last received the
@@ -180,13 +491,18 @@ func (s *Server) removeObserverByMID(addr string, mid uint16) {
 	}
 	s.mu.Unlock()
 	for _, r := range resources {
-		r.mu.Lock()
-		for k, o := range r.observers {
-			if o.addr == addr && o.lastMID == mid {
-				delete(r.observers, k)
+		for i := range r.shards {
+			sh := &r.shards[i]
+			sh.mu.Lock()
+			for k, o := range sh.m {
+				if o.addr == addr && uint16(o.lastMID.Load()) == mid {
+					delete(sh.m, k)
+					sh.n.Store(int64(len(sh.m)))
+					r.nobs.Add(-1)
+				}
 			}
+			sh.mu.Unlock()
 		}
-		r.mu.Unlock()
 	}
 }
 
@@ -201,10 +517,13 @@ func (s *Server) linkFormat() []byte {
 		s.mu.Lock()
 		r := s.resources[p]
 		s.mu.Unlock()
-		if r.rt != "" {
-			fmt.Fprintf(&sb, ";rt=%q", r.rt)
+		r.mu.Lock()
+		rt, observable := r.rt, r.observable
+		r.mu.Unlock()
+		if rt != "" {
+			fmt.Fprintf(&sb, ";rt=%q", rt)
 		}
-		if r.observable {
+		if observable {
 			sb.WriteString(";obs")
 		}
 	}
@@ -225,19 +544,24 @@ func (s *Server) handle(from string, req *Message) *Message {
 	if !ok {
 		return &Message{Code: CodeNotFound}
 	}
+	r.mu.Lock()
 	fn, ok := r.handlers[req.Code]
+	observable := r.observable
+	r.mu.Unlock()
 	if !ok {
 		return &Message{Code: CodeMethodNotAllowed}
 	}
 
-	// Observe registration / deregistration (RFC 7641).
-	if req.Code == CodeGET && r.observable {
+	// Observe intent (RFC 7641). Deregistration (Observe=1) takes effect
+	// regardless of the handler outcome; registration (Observe=0) waits
+	// for the response — §4.1 only adds an observer when the GET
+	// succeeds, so a failed read never leaves a dangling registration.
+	register := false
+	if req.Code == CodeGET && observable {
 		if opt, has := req.Option(OptObserve); has {
 			switch opt.Uint() {
 			case 0:
-				if err := r.addObserver(from, req.Token); err != nil {
-					return &Message{Code: CodeServiceUnavailable}
-				}
+				register = true
 			case 1:
 				r.removeObserver(from, req.Token)
 			}
@@ -248,14 +572,16 @@ func (s *Server) handle(from string, req *Message) *Message {
 	if resp == nil {
 		return nil
 	}
-	if req.Code == CodeGET && r.observable {
-		if opt, has := req.Option(OptObserve); has && opt.Uint() == 0 && resp.Code.IsSuccess() {
-			r.mu.Lock()
-			r.obsSeq++
-			seq := r.obsSeq
-			r.mu.Unlock()
-			resp.AddUintOption(OptObserve, seq)
+	if register && resp.Code.IsSuccess() {
+		if err := r.addObserver(from, req.Token); err != nil {
+			// Admission reject: 5.03, with a retry hint when configured.
+			reject := &Message{Code: CodeServiceUnavailable}
+			if age := s.rejectMaxAge.Load(); age > 0 {
+				reject.AddUintOption(OptMaxAge, uint32(age))
+			}
+			return reject
 		}
+		resp.AddUintOption(OptObserve, r.obsSeq.Add(1))
 	}
 	s.applyBlock2(req, resp)
 	return resp

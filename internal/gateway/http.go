@@ -1,0 +1,124 @@
+package gateway
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"iiotds/internal/coap"
+	"iiotds/internal/metrics"
+)
+
+// lastValue is the /v1/last JSON document.
+type lastValue struct {
+	Resource      string `json:"resource"`
+	Value         string `json:"value,omitempty"`
+	ValueB64      string `json:"value_b64,omitempty"`
+	ContentFormat uint32 `json:"content_format"`
+	Seq           uint64 `json:"seq"`
+	AgeMS         int64  `json:"age_ms"`
+}
+
+// resourceInfo is one row of the /v1/resources JSON document.
+type resourceInfo struct {
+	Resource  string `json:"resource"`
+	Observers int    `json:"observers"`
+	Cached    bool   `json:"cached"`
+}
+
+func textFormat(cf uint32) bool {
+	switch cf {
+	case coap.FormatText, coap.FormatJSON, coap.FormatLinkFormat:
+		return true
+	}
+	return false
+}
+
+// HTTPHandler serves the gateway's HTTP/JSON read path:
+//
+//	GET /v1/last/<resource-path>  last cached representation (404 when cold)
+//	GET /v1/resources             resource census with observer counts
+//	GET /v1/stats                 gateway-wide counters
+//
+// Every response is served from gateway memory — polling clients never
+// reach the CoAP side, let alone the mesh.
+func (g *Gateway) HTTPHandler() http.Handler {
+	var requests *metrics.Counter
+	var cacheServed *metrics.Counter
+	if g.reg != nil {
+		requests = g.reg.Counter("gw.http.requests")
+		cacheServed = g.reg.Counter("gw.http.cache_served")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/last/", func(w http.ResponseWriter, r *http.Request) {
+		if requests != nil {
+			requests.Inc()
+		}
+		path := strings.Trim(strings.TrimPrefix(r.URL.Path, "/v1/last/"), "/")
+		e, ok := g.cache.Get(path)
+		if !ok {
+			http.Error(w, `{"error":"no representation cached"}`, http.StatusNotFound)
+			return
+		}
+		if cacheServed != nil {
+			cacheServed.Inc()
+		}
+		doc := lastValue{
+			Resource:      path,
+			ContentFormat: e.ContentFormat,
+			Seq:           e.Seq,
+			AgeMS:         g.cache.Age(e).Milliseconds(),
+		}
+		if textFormat(e.ContentFormat) {
+			doc.Value = string(e.Payload)
+		} else {
+			doc.ValueB64 = base64.StdEncoding.EncodeToString(e.Payload)
+		}
+		writeJSON(w, doc)
+	})
+	mux.HandleFunc("/v1/resources", func(w http.ResponseWriter, r *http.Request) {
+		if requests != nil {
+			requests.Inc()
+		}
+		out := make([]resourceInfo, 0)
+		for _, p := range g.srv.Paths() {
+			_, cached := g.cache.Get(p)
+			out = append(out, resourceInfo{
+				Resource:  p,
+				Observers: g.srv.Resource(p).ObserverCount(),
+				Cached:    cached,
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if requests != nil {
+			requests.Inc()
+		}
+		writeJSON(w, g.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// NewHTTPServer wraps h in an http.Server with read/write/idle timeouts
+// set, so a slow or stalled client cannot pin a gateway goroutine
+// forever (the default http.Server has no timeouts at all).
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 2 * time.Second,
+		ReadTimeout:       5 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+}

@@ -1,0 +1,340 @@
+package gateway
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iiotds/internal/clock"
+	"iiotds/internal/coap"
+)
+
+// This file is the synthetic client swarm: a Transport implementation
+// that impersonates very large observer populations against one real
+// Gateway, so the fan-out path (sharded registry, batched MIDs,
+// zero-alloc NON encoding, per-shard workers) is exercised at the scale
+// the paper's city deployments imply — without a million sockets.
+//
+// The swarm drives three phases: a registration storm (GET Observe=0
+// from every observer), timed notification rounds (one Publish each,
+// latency recorded per delivery), and a deregistration storm (GET
+// Observe=1) after which the registry must be empty — the leak check.
+
+// SwarmConfig sizes one swarm run.
+type SwarmConfig struct {
+	// Observers is the total concurrent observer population.
+	Observers int
+	// Resources spreads the population over this many observable
+	// resources (default 1). Observer i registers to resource
+	// i % Resources.
+	Resources int
+	// NotifyRounds is how many representation pushes each resource
+	// fans out (default 4). Every delivery's latency is recorded.
+	NotifyRounds int
+	// PayloadSize is the representation size in bytes (default 16).
+	PayloadSize int
+	// QueueLen bounds each fan-out shard's job queue (0 = default).
+	QueueLen int
+	// ConfirmEvery is the CON cadence; 0 selects all-NON (the hot path
+	// under measurement). Positive values exercise the CON path — the
+	// swarm transport ACKs confirmables synchronously.
+	ConfirmEvery int
+	// Workers is the request-storm concurrency (default 8).
+	Workers int
+	// RoundTimeout bounds the wait for one round's deliveries
+	// (default 2 min).
+	RoundTimeout time.Duration
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (c *SwarmConfig) applyDefaults() {
+	if c.Resources <= 0 {
+		c.Resources = 1
+	}
+	if c.NotifyRounds <= 0 {
+		c.NotifyRounds = 4
+	}
+	if c.PayloadSize <= 0 {
+		c.PayloadSize = 16
+	}
+	if c.ConfirmEvery == 0 {
+		c.ConfirmEvery = -1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.RoundTimeout <= 0 {
+		c.RoundTimeout = 2 * time.Minute
+	}
+}
+
+// SwarmResult is one swarm run's measurements.
+type SwarmResult struct {
+	Observers    int `json:"observers"`
+	Resources    int `json:"resources"`
+	NotifyRounds int `json:"notify_rounds"`
+	PayloadSize  int `json:"payload_size"`
+	ConfirmEvery int `json:"confirm_every"`
+
+	RegisterSeconds float64 `json:"register_seconds"`
+	RegisterPerSec  float64 `json:"register_per_sec"`
+	Registered      int     `json:"registered"`
+
+	Delivered   int64   `json:"delivered"`
+	NotifyDrops int64   `json:"notify_drops"`
+	P50ms       float64 `json:"notify_p50_ms"`
+	P90ms       float64 `json:"notify_p90_ms"`
+	P99ms       float64 `json:"notify_p99_ms"`
+	MaxMs       float64 `json:"notify_max_ms"`
+
+	DeregisterSeconds float64 `json:"deregister_seconds"`
+	LeakedObservers   int     `json:"leaked_observers"`
+
+	HeapMB float64 `json:"heap_mb"`
+}
+
+func (r SwarmResult) String() string {
+	return fmt.Sprintf(
+		"observers=%d resources=%d registered=%d (%.0f/s) delivered=%d drops=%d p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms leaked=%d heap=%.0fMB",
+		r.Observers, r.Resources, r.Registered, r.RegisterPerSec, r.Delivered,
+		r.NotifyDrops, r.P50ms, r.P90ms, r.P99ms, r.MaxMs, r.LeakedObservers, r.HeapMB)
+}
+
+// Swarm phases, stored in swarmTransport.phase.
+const (
+	phaseStorm int32 = iota // register/deregister: outbound sends are responses
+	phaseNotify
+)
+
+// swarmTransport absorbs the gateway's outbound datagrams. During
+// notify rounds each delivery stamps its latency into a preallocated
+// slab; outside them deliveries are request responses and only counted.
+// Confirmable deliveries are ACKed synchronously (the Conn releases its
+// lock before Transport.Send, so re-entry is safe).
+type swarmTransport struct {
+	recv func(from string, data []byte)
+	mu   sync.Mutex
+
+	phase      atomic.Int32
+	roundStart atomic.Int64 // UnixNano of the current round's Publish
+	seq        atomic.Int64 // claims a latency slot (pre-write)
+	delivered  atomic.Int64 // publishes the slot (post-write)
+	responses  atomic.Int64 // storm-phase responses
+	lat        []int64      // nanoseconds, indexed by seq claims
+}
+
+func (t *swarmTransport) Send(addr string, data []byte) error {
+	if len(data) >= 4 && (data[0]>>4)&0x3 == uint8(coap.Confirmable) {
+		// Play the observer: answer the CON with an empty ACK (ver=1,
+		// type=ACK, tkl=0, code 0.00, echoed MID) from addr itself.
+		t.recvCB()(addr, []byte{0x60, 0x00, data[2], data[3]})
+	}
+	if t.phase.Load() == phaseNotify {
+		// Claim a slot, write it, THEN publish: the driver spins on
+		// delivered, so every claimed slot below it is fully written.
+		i := t.seq.Add(1) - 1
+		if i >= 0 && i < int64(len(t.lat)) {
+			t.lat[i] = time.Now().UnixNano() - t.roundStart.Load()
+		}
+		t.delivered.Add(1)
+		return nil
+	}
+	t.responses.Add(1)
+	return nil
+}
+
+func (t *swarmTransport) recvCB() func(from string, data []byte) {
+	t.mu.Lock()
+	fn := t.recv
+	t.mu.Unlock()
+	return fn
+}
+
+func (t *swarmTransport) SetReceiver(fn func(from string, data []byte)) {
+	t.mu.Lock()
+	t.recv = fn
+	t.mu.Unlock()
+}
+
+func (t *swarmTransport) LocalAddr() string { return "gw" }
+func (t *swarmTransport) Close() error      { return nil }
+
+var _ coap.Transport = (*swarmTransport)(nil)
+
+// swarmToken is shared by every observer: registry keys are
+// (address, token), so distinct addresses alone keep observers distinct
+// — and sharing the marshalled registration datagram across a resource's
+// whole population makes million-observer storms cheap to drive.
+var swarmToken = []byte{0x5e, 0xed}
+
+func swarmPath(i int) string { return fmt.Sprintf("swarm/%d", i) }
+
+func observeDatagram(path string, register bool) []byte {
+	obs := uint32(1)
+	if register {
+		obs = 0
+	}
+	m := &coap.Message{Type: coap.NonConfirmable, Code: coap.CodeGET, Token: swarmToken, MessageID: 0x5e5e}
+	m.AddUintOption(coap.OptObserve, obs)
+	m.SetPath(path)
+	data, err := m.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// storm injects one datagram per observer (dgram[i%Resources]) from
+// cfg.Workers goroutines and returns the wall time it took.
+func (cfg *SwarmConfig) storm(tr *swarmTransport, dgrams [][]byte) time.Duration {
+	recv := tr.recvCB()
+	start := time.Now()
+	var wg sync.WaitGroup
+	chunk := (cfg.Observers + cfg.Workers - 1) / cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > cfg.Observers {
+			hi = cfg.Observers
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				recv(observerAddr(i), dgrams[i%len(dgrams)])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func observerAddr(i int) string { return "o" + fmt.Sprint(i) }
+
+// RunSwarm builds a Gateway on a swarm transport and drives the full
+// register → notify → deregister lifecycle, returning measurements.
+func RunSwarm(cfg SwarmConfig) (*SwarmResult, error) {
+	cfg.applyDefaults()
+	if cfg.Observers <= 0 {
+		return nil, fmt.Errorf("gateway: swarm needs observers > 0")
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	tr := &swarmTransport{lat: make([]int64, cfg.Observers*cfg.NotifyRounds)}
+	conn := coap.NewConn(tr, &clock.System{}, coap.ConnConfig{})
+	defer conn.Close()
+	gw := New(conn, Config{
+		MaxObservers: cfg.Observers,
+		RejectMaxAge: 5,
+		ConfirmEvery: cfg.ConfirmEvery,
+		QueueLen:     cfg.QueueLen,
+	})
+	defer gw.Close()
+	payload := make([]byte, cfg.PayloadSize)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	regs := make([][]byte, cfg.Resources)
+	deregs := make([][]byte, cfg.Resources)
+	for i := 0; i < cfg.Resources; i++ {
+		gw.AddResource(swarmPath(i), "swarm", nil)
+		// Warm the cache: registration only sticks on a success
+		// response (RFC 7641 §4.1), and a cold cached resource answers
+		// 5.03.
+		gw.Publish(swarmPath(i), coap.FormatText, payload)
+		regs[i] = observeDatagram(swarmPath(i), true)
+		deregs[i] = observeDatagram(swarmPath(i), false)
+	}
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	res := &SwarmResult{
+		Observers:    cfg.Observers,
+		Resources:    cfg.Resources,
+		NotifyRounds: cfg.NotifyRounds,
+		PayloadSize:  cfg.PayloadSize,
+		ConfirmEvery: cfg.ConfirmEvery,
+	}
+
+	// Phase 1: registration storm.
+	logf("swarm: registering %d observers across %d resources", cfg.Observers, cfg.Resources)
+	regDur := cfg.storm(tr, regs)
+	res.RegisterSeconds = regDur.Seconds()
+	res.RegisterPerSec = float64(cfg.Observers) / regDur.Seconds()
+	for i := 0; i < cfg.Resources; i++ {
+		res.Registered += gw.Server().Resource(swarmPath(i)).ObserverCount()
+	}
+	if res.Registered != cfg.Observers {
+		return res, fmt.Errorf("gateway: swarm registered %d of %d observers", res.Registered, cfg.Observers)
+	}
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	res.HeapMB = float64(msAfter.HeapAlloc) / (1 << 20)
+	logf("swarm: registered %d in %.2fs (%.0f/s), heap %.0f MB",
+		res.Registered, res.RegisterSeconds, res.RegisterPerSec, res.HeapMB)
+
+	// Phase 2: notify rounds. One Publish per resource per round; wait
+	// until every registered observer's delivery lands before the next.
+	tr.phase.Store(phaseNotify)
+	for round := 0; round < cfg.NotifyRounds; round++ {
+		target := int64(cfg.Observers) * int64(round+1)
+		tr.roundStart.Store(time.Now().UnixNano())
+		for i := 0; i < cfg.Resources; i++ {
+			gw.Publish(swarmPath(i), coap.FormatText, payload)
+		}
+		deadline := time.Now().Add(cfg.RoundTimeout)
+		for tr.delivered.Load() < target {
+			if time.Now().After(deadline) {
+				res.Delivered = tr.delivered.Load()
+				res.NotifyDrops = gw.Server().NotifyDropped()
+				return res, fmt.Errorf("gateway: swarm round %d timed out: delivered %d of %d (drops %d)",
+					round, res.Delivered, target, res.NotifyDrops)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		logf("swarm: round %d/%d fanned out to %d observers", round+1, cfg.NotifyRounds, cfg.Observers)
+	}
+	tr.phase.Store(phaseStorm)
+	res.Delivered = tr.delivered.Load()
+	res.NotifyDrops = gw.Server().NotifyDropped()
+
+	lat := tr.lat[:res.Delivered]
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	res.P50ms = pctMS(lat, 50)
+	res.P90ms = pctMS(lat, 90)
+	res.P99ms = pctMS(lat, 99)
+	res.MaxMs = pctMS(lat, 100)
+
+	// Phase 3: deregistration storm, then the leak check — the registry
+	// must be empty, or shutdown churn leaks observer state.
+	logf("swarm: deregistering %d observers", cfg.Observers)
+	res.DeregisterSeconds = cfg.storm(tr, deregs).Seconds()
+	for i := 0; i < cfg.Resources; i++ {
+		res.LeakedObservers += gw.Server().Resource(swarmPath(i)).ObserverCount()
+	}
+	logf("swarm: done: %s", res)
+	return res, nil
+}
+
+// pctMS returns the p-th percentile of sorted nanosecond latencies, in
+// milliseconds.
+func pctMS(sorted []int64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / 1e6
+}
